@@ -1,0 +1,64 @@
+// Ablation (extension beyond the paper's tables): the keyswitch digit
+// count dnum. Larger dnum (more digits) means each digit is smaller,
+// the special-prime overhead shrinks, and key material grows — trading
+// HBM key traffic against ModUp/ModDown base-conversion compute. This
+// is the "bandwidth vs compute" dial the paper's Discussion section
+// alludes to for future memory technologies (NDP/SmartSSD).
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/sim.h"
+#include "isa/compiler.h"
+
+using namespace poseidon;
+using namespace poseidon::isa;
+
+int
+main()
+{
+    hw::PoseidonSim sim;
+
+    AsciiTable t("Ablation: keyswitch digit count (N=2^16, 44 limbs)");
+    t.header({"dnum", "alpha", "K", "key stream (MB)",
+              "compute (Mcycles)", "memory (Mcycles)", "time (ms)",
+              "ops/s", "BW util (%)"});
+
+    struct Cfg
+    {
+        u64 dnum, K;
+    };
+    // K scales with alpha = ceil(L/dnum) to keep keyswitch noise flat.
+    const Cfg cfgs[] = {{44, 1}, {15, 3}, {8, 6}, {4, 11}, {2, 22}};
+    for (const auto &c : cfgs) {
+        OpShape s;
+        s.n = u64(1) << 16;
+        s.limbs = 44;
+        s.dnum = c.dnum;
+        s.K = c.K;
+
+        Trace tr;
+        emit_keyswitch(tr, s);
+        auto r = sim.run(tr);
+        double keyMB = static_cast<double>(s.digits()) * 2 *
+                       s.ext_limbs() * s.n * 4 / 1e6;
+        u64 alpha = (s.limbs + s.digits() - 1) / s.digits();
+        t.row({std::to_string(c.dnum), std::to_string(alpha),
+               std::to_string(c.K), AsciiTable::num(keyMB, 1),
+               AsciiTable::num(r.computeCycles / 1e6, 2),
+               AsciiTable::num(r.memCycles / 1e6, 2),
+               AsciiTable::num(r.seconds * 1e3, 3),
+               AsciiTable::num(1.0 / r.seconds, 1),
+               AsciiTable::num(
+                   100.0 * r.bandwidth_utilization(sim.config()), 1)});
+    }
+    t.print();
+
+    std::printf(
+        "\nReading the table: dnum=44 (digit per prime) is "
+        "bandwidth-dominated by the 1 GB key stream;\nsmall dnum shrinks "
+        "keys but the alpha special primes inflate ModUp/ModDown "
+        "arithmetic.\nThe sweet spot for this configuration sits in the "
+        "middle — which is why the benchmark traces use dnum=4.\n");
+    return 0;
+}

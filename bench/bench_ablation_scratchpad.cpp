@@ -1,0 +1,50 @@
+// Ablation (extension): scratchpad capacity. The paper argues 8.6 MB
+// suffices because the pipeline streams limb-granular tiles; this
+// sweep shows when that stops being true — smaller scratchpads respill
+// working tiles through HBM and inflate memory time, while capacity
+// beyond the tile working set buys nothing.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/sim.h"
+#include "workloads/workloads.h"
+
+using namespace poseidon;
+
+int
+main()
+{
+    auto boot = workloads::make_packed_bootstrapping(
+        workloads::paper_shape());
+    isa::Trace cmult;
+    {
+        isa::OpShape s = workloads::paper_shape();
+        isa::emit_cmult(cmult, s);
+    }
+
+    AsciiTable t("Ablation: scratchpad capacity (N=2^16 tiles need "
+                 "24 * N * 4B = 6.3 MB)");
+    t.header({"scratchpad (MB)", "CMult (ms)", "Packed Bootstrapping "
+              "(ms)", "boot BW util (%)"});
+
+    for (double mb : {1.0, 2.0, 4.0, 8.6, 16.0, 32.0}) {
+        hw::HwConfig cfg;
+        cfg.scratchpadMB = mb;
+        hw::PoseidonSim sim(cfg);
+        auto rc = sim.run(cmult);
+        auto rb = sim.run(boot.trace);
+        t.row({AsciiTable::num(mb, 1),
+               AsciiTable::num(rc.seconds * 1e3, 3),
+               AsciiTable::num(rb.seconds * 1e3, 1),
+               AsciiTable::num(100.0 * rb.bandwidth_utilization(cfg),
+                               1)});
+    }
+    t.print();
+
+    std::printf("\nReading the table: below ~6.3 MB the tile working "
+                "set respills and time climbs; above it, extra\ncapacity "
+                "is idle — consistent with the paper choosing 8.6 MB "
+                "instead of the ASICs' 256-512 MB.\n");
+    return 0;
+}

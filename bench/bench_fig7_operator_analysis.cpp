@@ -1,0 +1,78 @@
+// Reproduces Fig. 7: operator core analysis — for each FHE basic
+// operation, the share of work items handled by each key operator
+// (MA, MM, NTT/INTT, Automorphism) plus data movement (HBM words).
+// Shape (paper): HAdd is all MA; PMult all MM; MM is the most used
+// operator in Rescale/Rotation/Keyswitch/CMult.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "isa/compiler.h"
+
+using namespace poseidon;
+using namespace poseidon::isa;
+
+int
+main()
+{
+    OpShape s;
+    s.n = u64(1) << 16;
+    s.limbs = 44;
+    s.K = 1;
+
+    AsciiTable t("Fig. 7: operator composition of basic operations "
+                 "(percent of work items incl. data movement)");
+    t.header({"Operation", "MA", "MM", "NTT/INTT", "Auto",
+              "data movement"});
+
+    auto row = [&](const char *name, Trace &tr) {
+        auto c = tr.totals();
+        double ma = static_cast<double>(c[OpKind::MA]);
+        double mm = static_cast<double>(c[OpKind::MM]);
+        double ntt = static_cast<double>(c[OpKind::NTT] +
+                                         c[OpKind::INTT]);
+        double au = static_cast<double>(c[OpKind::AUTO]);
+        double mem = static_cast<double>(c.hbm_words());
+        double total = ma + mm + ntt + au + mem;
+        auto pct = [&](double v) {
+            return AsciiTable::num(100.0 * v / total, 1);
+        };
+        t.row({name, pct(ma), pct(mm), pct(ntt), pct(au), pct(mem)});
+    };
+
+    {
+        Trace tr;
+        emit_hadd(tr, s);
+        row("HAdd", tr);
+    }
+    {
+        Trace tr;
+        emit_pmult(tr, s);
+        row("PMult", tr);
+    }
+    {
+        Trace tr;
+        emit_cmult(tr, s);
+        row("CMult", tr);
+    }
+    {
+        Trace tr;
+        emit_rescale(tr, s);
+        row("Rescale", tr);
+    }
+    {
+        Trace tr;
+        emit_keyswitch(tr, s);
+        row("Keyswitch", tr);
+    }
+    {
+        Trace tr;
+        emit_rotation(tr, s);
+        row("Rotation", tr);
+    }
+    t.print();
+
+    std::printf("\nCiphertext parameters: N=2^16, L=44 (the paper's "
+                "Fig. 7 setting).\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Fig. 9: per-benchmark execution time broken down by the
+// four key operators (MA, MM, NTT/INTT, Automorphism). Shape (paper):
+// MM and NTT occupy the largest proportion.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/sim.h"
+#include "workloads/workloads.h"
+
+using namespace poseidon;
+using isa::OpKind;
+
+int
+main()
+{
+    hw::PoseidonSim sim;
+
+    AsciiTable t("Fig. 9: key-operator time breakdown per benchmark "
+                 "(percent of compute cycles)");
+    t.header({"Benchmark", "total (ms)", "MA", "MM", "NTT/INTT",
+              "Automorphism"});
+
+    for (const auto &w : workloads::paper_benchmarks()) {
+        auto r = sim.run(w.trace);
+        double ma = r.kind_cycles(OpKind::MA);
+        double mm = r.kind_cycles(OpKind::MM);
+        double ntt = r.kind_cycles(OpKind::NTT) +
+                     r.kind_cycles(OpKind::INTT);
+        double au = r.kind_cycles(OpKind::AUTO);
+        double total = ma + mm + ntt + au;
+        auto pct = [&](double v) {
+            return AsciiTable::num(100.0 * v / total, 2);
+        };
+        t.row({w.name, AsciiTable::num(r.seconds * 1e3, 1), pct(ma),
+               pct(mm), pct(ntt), pct(au)});
+    }
+    t.print();
+
+    std::printf("\nShape check (paper Fig. 9): MM and NTT take most of "
+                "the operator time; MA is cheap despite its\nfrequency; "
+                "automorphism is small thanks to HFAuto.\n");
+    return 0;
+}

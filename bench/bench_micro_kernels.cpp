@@ -1,0 +1,158 @@
+// Google-benchmark microbenchmarks of the software kernels backing the
+// five Poseidon operators: modular arithmetic (MA/MM/SBT), the
+// reference and fused NTT, the automorphism implementations, and the
+// RNS base conversion at the heart of keyswitching.
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.h"
+#include "ntt/fusion.h"
+#include "poly/automorphism.h"
+#include "poly/hfauto.h"
+#include "rns/conv.h"
+#include "rns/primes.h"
+
+namespace poseidon {
+namespace {
+
+constexpr u64 kPrime31 = 2146959361; // 31-bit NTT prime (q = 1 mod 2^17)
+
+void
+BM_MulMod128(benchmark::State &state)
+{
+    Prng prng(1);
+    u64 a = prng.uniform(kPrime31), b = prng.uniform(kPrime31);
+    for (auto _ : state) {
+        a = mul_mod(a ^ b, b | 1, kPrime31);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MulMod128);
+
+void
+BM_BarrettMul(benchmark::State &state)
+{
+    Barrett64 br(kPrime31);
+    Prng prng(2);
+    u64 a = prng.uniform(kPrime31), b = prng.uniform(kPrime31);
+    for (auto _ : state) {
+        a = br.mul(a ^ b, b | 1);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_BarrettMul);
+
+void
+BM_ShoupMul(benchmark::State &state)
+{
+    Prng prng(3);
+    ShoupMul m(prng.uniform(kPrime31), kPrime31);
+    u64 a = prng.uniform(kPrime31);
+    for (auto _ : state) {
+        a = m.mul(a | 1);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_ShoupMul);
+
+void
+BM_NttForward(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    u64 q = generate_ntt_primes(n, 31, 1)[0];
+    NttTable table(n, q);
+    Prng prng(4);
+    std::vector<u64> a(n);
+    for (auto &v : a) v = prng.uniform(q);
+    for (auto _ : state) {
+        table.forward(a.data());
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttForward)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void
+BM_NttFusedForward(benchmark::State &state)
+{
+    std::size_t n = 1 << 14;
+    unsigned k = static_cast<unsigned>(state.range(0));
+    u64 q = generate_ntt_primes(n, 31, 1)[0];
+    NttTable table(n, q);
+    NttFused fused(table, k);
+    Prng prng(5);
+    std::vector<u64> a(n);
+    for (auto &v : a) v = prng.uniform(q);
+    for (auto _ : state) {
+        fused.forward(a.data());
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttFusedForward)->DenseRange(1, 6);
+
+void
+BM_AutomorphismReference(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    u64 q = generate_ntt_primes(n, 31, 1)[0];
+    Prng prng(6);
+    std::vector<u64> a(n), out(n);
+    for (auto &v : a) v = prng.uniform(q);
+    u64 g = galois_element_for_step(n, 3);
+    for (auto _ : state) {
+        automorphism_coeff_limb(a.data(), out.data(), n, g, q);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AutomorphismReference)->Arg(1 << 14)->Arg(1 << 16);
+
+void
+BM_HFAuto(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    u64 q = generate_ntt_primes(n, 31, 1)[0];
+    HFAuto hf(n, 512);
+    Prng prng(7);
+    std::vector<u64> a(n), out(n);
+    for (auto &v : a) v = prng.uniform(q);
+    u64 g = galois_element_for_step(n, 3);
+    for (auto _ : state) {
+        hf.apply_limb(a.data(), out.data(), g, q);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HFAuto)->Arg(1 << 14)->Arg(1 << 16);
+
+void
+BM_RnsConv(benchmark::State &state)
+{
+    std::size_t n = 1 << 12;
+    std::size_t limbs = static_cast<std::size_t>(state.range(0));
+    auto primes = generate_ntt_primes(n, 31, limbs + 1);
+    RnsBasis src(std::vector<u64>(primes.begin(), primes.end() - 1));
+    RnsBasis dst(std::vector<u64>{primes.back()});
+    RnsConv conv(src, dst);
+    Prng prng(8);
+    std::vector<std::vector<u64>> data(limbs, std::vector<u64>(n));
+    for (std::size_t i = 0; i < limbs; ++i) {
+        for (auto &v : data[i]) v = prng.uniform(src.modulus(i));
+    }
+    std::vector<u64> out(n);
+    std::vector<const u64*> in(limbs);
+    for (std::size_t i = 0; i < limbs; ++i) in[i] = data[i].data();
+    std::vector<u64*> op{out.data()};
+    for (auto _ : state) {
+        conv.convert(in, op, n);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * limbs);
+}
+BENCHMARK(BM_RnsConv)->Arg(4)->Arg(8)->Arg(16);
+
+} // namespace
+} // namespace poseidon
+
+BENCHMARK_MAIN();

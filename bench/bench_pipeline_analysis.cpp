@@ -1,0 +1,47 @@
+// Extension bench: the event-driven pipeline model vs the analytic
+// model, plus per-unit occupancy for each benchmark — the schedule-level
+// view of why Poseidon's operator reuse works (no unit sits hot while
+// another is starved for long).
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/pipeline.h"
+#include "workloads/workloads.h"
+
+using namespace poseidon;
+
+int
+main()
+{
+    hw::PoseidonSim analytic;
+    hw::PipelineSim pipeline;
+
+    AsciiTable t("Event-driven pipeline vs analytic model + unit "
+                 "occupancy");
+    t.header({"Benchmark", "analytic (ms)", "pipeline (ms)", "ratio",
+              "MA", "MM/SBT", "NTT", "Auto", "HBM rd", "HBM wr"});
+
+    for (const auto &w : workloads::paper_benchmarks()) {
+        auto ra = analytic.run(w.trace);
+        auto rp = pipeline.run(w.trace);
+        auto occ = [&](hw::Unit u) {
+            return AsciiTable::num(100.0 * rp.occupancy(u), 1);
+        };
+        t.row({w.name, AsciiTable::num(ra.seconds * 1e3, 1),
+               AsciiTable::num(rp.seconds * 1e3, 1),
+               AsciiTable::num(rp.seconds / ra.seconds, 2),
+               occ(hw::Unit::MA), occ(hw::Unit::MM), occ(hw::Unit::NTT),
+               occ(hw::Unit::AUTO), occ(hw::Unit::HBM_RD),
+               occ(hw::Unit::HBM_WR)});
+    }
+    t.print();
+
+    std::printf(
+        "\nReading the table: the two models agree within tens of "
+        "percent (they share per-instruction latencies\nbut derive "
+        "overlap differently); MM and NTT are the hot units, matching "
+        "Fig. 9's operator breakdown, and\nHBM read occupancy tracks "
+        "Table VII's utilization.\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces Table IV: throughput of the FHE basic operations
+// (ops/second) on CPU vs GPU (over100x) vs HEAX vs Poseidon, plus the
+// Poseidon-over-CPU speedup.
+//
+// CPU: this library measured single-threaded at logN=12 and
+// extrapolated to the paper shape (N=2^16, 44 limbs) by asymptotic
+// complexity. GPU/HEAX: the published numbers the paper compares
+// against. Poseidon: the cycle model at the paper shape.
+
+#include <cstdio>
+
+#include "baselines/cpu.h"
+#include "baselines/published.h"
+#include "common/table.h"
+#include "hw/sim.h"
+#include "workloads/workloads.h"
+
+using namespace poseidon;
+using isa::BasicOp;
+using isa::OpShape;
+using isa::Trace;
+
+namespace {
+
+std::string
+rate(double opsPerSec)
+{
+    if (opsPerSec <= 0) return "/";
+    char buf[32];
+    if (opsPerSec >= 100) {
+        std::snprintf(buf, sizeof(buf), "%.0f", opsPerSec);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f", opsPerSec);
+    }
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- CPU baseline: measure small, extrapolate to paper shape. ---
+    CkksParams mp;
+    mp.logN = 12;
+    mp.L = 8;
+    mp.scaleBits = 35;
+    mp.firstPrimeBits = 45;
+    mp.specialPrimeBits = 45;
+    std::printf("Measuring CPU baseline at N=2^%u, L=%zu ...\n", mp.logN,
+                mp.L);
+    auto measured = baselines::CpuBaseline::measure(mp, /*reps=*/2);
+
+    OpShape from;
+    from.n = mp.degree();
+    from.limbs = mp.L;
+    from.K = mp.K;
+    OpShape paper;
+    paper.n = u64(1) << 16;
+    paper.limbs = 44;
+    paper.K = 1;
+    auto cpu = baselines::CpuBaseline::scale_to(measured, from, paper);
+
+    // --- Poseidon: cycle model at the paper shape. ---
+    hw::PoseidonSim sim;
+    auto simulate = [&](void (*emit)(Trace &, const OpShape &, BasicOp),
+                        BasicOp tag) {
+        Trace t;
+        emit(t, paper, tag);
+        return 1.0 / sim.run(t).seconds;
+    };
+    double pHadd = simulate(isa::emit_hadd, BasicOp::HAdd);
+    double pPmult = simulate(isa::emit_pmult, BasicOp::PMult);
+    double pCmult = simulate(isa::emit_cmult, BasicOp::CMult);
+    double pNtt = simulate(isa::emit_ntt_op, BasicOp::NttOnly);
+    double pRot = simulate(isa::emit_rotation, BasicOp::Rotation);
+    double pResc = simulate(isa::emit_rescale, BasicOp::Rescale);
+    Trace tks;
+    isa::emit_keyswitch(tks, paper);
+    double pKs = 1.0 / sim.run(tks).seconds;
+
+    auto gpu = baselines::gpu_over100x_rates();
+    auto heax = baselines::heax_rates();
+
+    AsciiTable table(
+        "Table IV: basic operation throughput (operations per second), "
+        "N=2^16, 44 limbs");
+    table.header({"Operation", "CPU (this lib, 1 thread)",
+                  "over100x (GPU, published)", "HEAX (FPGA, published)",
+                  "Poseidon (model)", "speedup vs CPU"});
+
+    struct Row
+    {
+        const char *name;
+        double cpu, gpu, heax, poseidon;
+    };
+    Row rows[] = {
+        {"HAdd", 1.0 / cpu.hadd, gpu.hadd, heax.hadd, pHadd},
+        {"PMult", 1.0 / cpu.pmult, gpu.pmult, heax.pmult, pPmult},
+        {"CMult", 1.0 / cpu.cmult, gpu.cmult, heax.cmult, pCmult},
+        {"NTT", 1.0 / cpu.ntt, gpu.ntt, heax.ntt, pNtt},
+        {"Keyswitch", 1.0 / cpu.keyswitch, gpu.keyswitch, heax.keyswitch,
+         pKs},
+        {"Rotation", 1.0 / cpu.rotation, gpu.rotation, heax.rotation,
+         pRot},
+        {"Rescale", 1.0 / cpu.rescale, gpu.rescale, heax.rescale, pResc},
+    };
+    for (const auto &r : rows) {
+        table.row({r.name, rate(r.cpu), rate(r.gpu), rate(r.heax),
+                   rate(r.poseidon),
+                   AsciiTable::speedup(r.poseidon / r.cpu, 0)});
+    }
+    table.print();
+
+    std::printf(
+        "\nPaper's reported speedups over its Xeon baseline: PMult 349x, "
+        "CMult 718x, NTT 1348x,\nKeyswitch 780x, Rotation 774x, Rescale "
+        "572x. Expected shape: speedup grows with operation\ncomplexity; "
+        "absolute ratios differ because our CPU baseline is this "
+        "library, not SEAL on a Xeon.\n");
+    return 0;
+}

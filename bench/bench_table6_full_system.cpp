@@ -1,0 +1,79 @@
+// Reproduces Tables V and VI: the four benchmark configurations and the
+// full-system execution time comparison against the GPU and ASIC
+// comparators (published numbers), with Poseidon times from the cycle
+// model over the workload traces.
+
+#include <cstdio>
+
+#include "baselines/published.h"
+#include "common/table.h"
+#include "hw/sim.h"
+#include "workloads/workloads.h"
+
+using namespace poseidon;
+
+int
+main()
+{
+    // ---- Table V: benchmark descriptions ----
+    AsciiTable tv("Table V: evaluation benchmarks");
+    tv.header({"Benchmark", "Description", "Bootstraps"});
+    auto benches = workloads::paper_benchmarks();
+    for (const auto &w : benches) {
+        tv.row({w.name, w.description, std::to_string(w.bootstrapCount)});
+    }
+    tv.print();
+
+    // ---- Table VI (left): comparator platforms ----
+    AsciiTable ts("Table VI: platform characteristics");
+    ts.header({"System", "Platform", "Memory (GB)", "BW (GB/s)",
+               "Scratchpad (MB)", "Clock (GHz)"});
+    for (const auto &s : baselines::comparator_specs()) {
+        ts.row({s.name, s.platform, AsciiTable::num(s.memoryGB, 0),
+                AsciiTable::num(s.offchipGBps, 0),
+                AsciiTable::num(s.scratchpadMB, 1),
+                AsciiTable::num(s.clockGHz, 2)});
+    }
+    ts.print();
+
+    // ---- Table VI (right): full-system performance ----
+    hw::PoseidonSim sim;
+    AsciiTable tp(
+        "Table VI: full-system performance (ms; LR is the per-iteration "
+        "average)");
+    tp.header({"System", "LR", "LSTM", "ResNet-20",
+               "Packed Bootstrapping", "source"});
+    for (const char *name : {"over100x", "F1+", "CraterLake", "BTS",
+                             "ARK"}) {
+        auto t = baselines::bench_times(name);
+        tp.row({name, AsciiTable::num(t.lr, 2), AsciiTable::num(t.lstm, 1),
+                AsciiTable::num(t.resnet20, 1),
+                AsciiTable::num(t.bootstrapping, 2), "published"});
+    }
+    {
+        auto t = baselines::bench_times("Poseidon");
+        tp.row({"Poseidon (paper)", AsciiTable::num(t.lr, 2),
+                AsciiTable::num(t.lstm, 1), AsciiTable::num(t.resnet20, 1),
+                AsciiTable::num(t.bootstrapping, 2), "published"});
+    }
+    {
+        std::vector<double> ours;
+        for (const auto &w : benches) {
+            auto r = sim.run(w.trace);
+            ours.push_back(r.seconds * 1e3 /
+                           static_cast<double>(w.reportDivisor));
+        }
+        tp.row({"Poseidon (this model)", AsciiTable::num(ours[0], 2),
+                AsciiTable::num(ours[1], 1), AsciiTable::num(ours[2], 1),
+                AsciiTable::num(ours[3], 2), "simulated"});
+
+        auto gpu = baselines::bench_times("over100x");
+        auto f1 = baselines::bench_times("F1+");
+        std::printf("\nHeadline claims: model speedup over the GPU on LR "
+                    "= %.1fx (paper: 10.6x);\nover the slowest ASIC (F1+) "
+                    "= %.1fx (paper: 8.7x).\n",
+                    gpu.lr / ours[0], f1.lr / ours[0]);
+    }
+    tp.print();
+    return 0;
+}

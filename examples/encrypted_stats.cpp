@@ -1,0 +1,100 @@
+// Encrypted statistics: mean and variance of a batch of sensor
+// readings computed entirely under encryption — the "available but
+// invisible" cloud scenario of the paper's introduction (Fig. 1).
+//
+// Build & run:  ./examples/encrypted_stats
+
+#include <cmath>
+#include <cstdio>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+
+using namespace poseidon;
+
+int
+main()
+{
+    CkksParams params;
+    params.logN = 12;
+    params.L = 6;
+    params.scaleBits = 35;
+    auto ctx = make_ckks_context(params);
+
+    KeyGenerator keygen(ctx);
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, keygen.make_public_key());
+    CkksDecryptor decryptor(ctx, keygen.secret_key());
+    CkksEvaluator eval(ctx);
+    KSwitchKey relin = keygen.make_relin_key();
+
+    // A batch of 256 synthetic "sensor readings" in one ciphertext.
+    const std::size_t batch = 256;
+    GaloisKeys galois = [&] {
+        std::vector<long> steps;
+        for (std::size_t s = 1; s < batch; s <<= 1) {
+            steps.push_back(static_cast<long>(s));
+        }
+        return keygen.make_galois_keys(steps);
+    }();
+
+    Prng prng(7);
+    std::vector<double> readings(batch);
+    for (auto &v : readings) v = 20.0 / 20 * (prng.gaussian() * 0.15 + 0.7);
+
+    // Client encrypts; server never sees the readings.
+    Ciphertext c = encryptor.encrypt(
+        encoder.encode_real(readings, params.L));
+
+    // mean = (1/batch) * sum via log-depth rotation folding.
+    Ciphertext sum = c;
+    for (std::size_t s = batch / 2; s >= 1; s /= 2) {
+        sum = eval.add(sum, eval.rotate(sum, static_cast<long>(s),
+                                        galois));
+    }
+    Ciphertext mean = eval.mul_scalar(sum, 1.0 / batch);
+    eval.rescale_inplace(mean);
+
+    // var = mean(x^2) - mean(x)^2.
+    Ciphertext sq = eval.square(c, relin);
+    eval.rescale_inplace(sq);
+    Ciphertext sqSum = sq;
+    for (std::size_t s = batch / 2; s >= 1; s /= 2) {
+        sqSum = eval.add(sqSum, eval.rotate(sqSum,
+                                            static_cast<long>(s),
+                                            galois));
+    }
+    Ciphertext meanSq = eval.mul_scalar(sqSum, 1.0 / batch);
+    eval.rescale_inplace(meanSq);
+
+    Ciphertext mean2 = eval.square(mean, relin);
+    eval.rescale_inplace(mean2);
+    // The two terms arrive from different rescale paths; equalize
+    // their level and scale before subtracting.
+    eval.equalize_inplace(meanSq, mean2);
+    Ciphertext var = eval.sub(meanSq, mean2);
+
+    // Client decrypts the two aggregates only.
+    double gotMean =
+        encoder.decode(decryptor.decrypt(mean))[0].real();
+    double gotVar = encoder.decode(decryptor.decrypt(var))[0].real();
+
+    double expMean = 0, expVar = 0;
+    for (double v : readings) expMean += v;
+    expMean /= batch;
+    for (double v : readings) expVar += (v - expMean) * (v - expMean);
+    expVar /= batch;
+
+    std::printf("encrypted mean = %.6f   plaintext mean = %.6f   "
+                "err = %.2e\n",
+                gotMean, expMean, std::abs(gotMean - expMean));
+    std::printf("encrypted var  = %.6f   plaintext var  = %.6f   "
+                "err = %.2e\n",
+                gotVar, expVar, std::abs(gotVar - expVar));
+
+    bool ok = std::abs(gotMean - expMean) < 1e-3 &&
+              std::abs(gotVar - expVar) < 1e-3;
+    std::printf("%s\n", ok ? "OK" : "MISMATCH");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+#ifndef POSEIDON_BASELINES_CPU_H_
+#define POSEIDON_BASELINES_CPU_H_
+
+/**
+ * @file
+ * CPU baseline: single-threaded timings of this library's own CKKS
+ * implementation, playing the role of the paper's Xeon baseline.
+ *
+ * Measuring directly at the paper's parameters (N=2^16, 44 limbs)
+ * takes minutes per CMult in software, so measurements run at a
+ * smaller shape and are extrapolated with the operations' asymptotic
+ * complexity (documented per field). Both the raw and extrapolated
+ * numbers are reported by the benches.
+ */
+
+#include "ckks/params.h"
+#include "isa/compiler.h"
+
+namespace poseidon::baselines {
+
+/// Seconds per basic operation on the CPU.
+struct CpuOpTimes
+{
+    double hadd = 0;
+    double pmult = 0;
+    double cmult = 0;
+    double ntt = 0;       ///< full-ciphertext-poly NTT (all limbs)
+    double keyswitch = 0;
+    double rotation = 0;
+    double rescale = 0;
+};
+
+/// Measures and extrapolates the CPU baseline.
+class CpuBaseline
+{
+  public:
+    /**
+     * Measure the library's operations at `params`. `reps` timed
+     * repetitions per op (median-ish via min).
+     */
+    static CpuOpTimes measure(const CkksParams &params, int reps = 3);
+
+    /**
+     * Extrapolate measured times from the measured shape to a target
+     * shape using asymptotic complexity:
+     *  - HAdd, PMult, Rescale: ~ N * limbs
+     *  - NTT:                  ~ N * log2(N) * limbs
+     *  - Keyswitch, Rotation, CMult: ~ digits * ext * N * log2(N)
+     */
+    static CpuOpTimes scale_to(const CpuOpTimes &measured,
+                               const isa::OpShape &from,
+                               const isa::OpShape &to);
+};
+
+} // namespace poseidon::baselines
+
+#endif // POSEIDON_BASELINES_CPU_H_

@@ -1,0 +1,102 @@
+#include "baselines/published.h"
+
+#include "common/logging.h"
+
+namespace poseidon::baselines {
+
+std::vector<SystemSpec>
+comparator_specs()
+{
+    // Capacities/bandwidths from Table VI and the cited papers.
+    return {
+        {"CPU", "CPU (Xeon Gold 6234)", 256, 100, 0.025, 3.3, 130},
+        {"over100x", "GPU (Tesla V100)", 32, 900, 6.1, 1.38, 300},
+        {"HEAX", "FPGA (Stratix10)", 32, 85, 22, 0.275, 85},
+        {"F1+", "ASIC (simulated)", 16, 1000, 256, 1.0, 151},
+        {"CraterLake", "ASIC (simulated)", 16, 1000, 256, 1.0, 170},
+        {"BTS", "ASIC (simulated)", 16, 1000, 512, 1.2, 163},
+        {"ARK", "ASIC (simulated)", 32, 2000, 512, 1.0, 281},
+        {"Poseidon", "FPGA (Alveo U280)", 8, 460, 8.6, 0.30, 45},
+    };
+}
+
+SystemSpec
+spec(const std::string &name)
+{
+    for (const auto &s : comparator_specs()) {
+        if (s.name == name) return s;
+    }
+    POSEIDON_REQUIRE(false, "unknown comparator system: " + name);
+    return {};
+}
+
+BasicOpRates
+gpu_over100x_rates()
+{
+    // Table IV, over100x (GPU) column, ops/s.
+    BasicOpRates r;
+    r.pmult = 7407;
+    r.cmult = 57;
+    r.rotation = 61;
+    r.rescale = 1574;
+    return r;
+}
+
+BasicOpRates
+heax_rates()
+{
+    // Table IV, HEAX column (estimated by the paper for its parameter
+    // set from the HEAX design).
+    BasicOpRates r;
+    r.pmult = 4161;
+    r.cmult = 119;
+    r.ntt = 4540;      // ~1/50 of Poseidon per the paper's 50x claim
+    r.keyswitch = 104; // ~1/3 of Poseidon per the paper's 3x claim
+    return r;
+}
+
+BenchTimesMs
+bench_times(const std::string &name)
+{
+    // Reconstructed comparator times (ms). LR is the per-iteration
+    // average (the paper's own metric). Anchors: Poseidon LR 72.98 with
+    // 10.6x over the GPU and 8.7x over the slowest ASIC (F1+); ASICs
+    // beat the FPGA on bootstrapping-heavy workloads.
+    if (name == "over100x") return {773.6, 8340.0, 23000.0, 1620.0};
+    if (name == "F1+") return {635.0, 2693.0, 2963.0, 421.0};
+    if (name == "CraterLake") return {119.0, 496.0, 679.0, 38.1};
+    if (name == "BTS") return {28.4, 1022.0, 1910.0, 58.9};
+    if (name == "ARK") return {7.42, 125.0, 294.0, 3.52};
+    if (name == "Poseidon") return {72.98, 1846.89, 2661.23, 127.45};
+    POSEIDON_REQUIRE(false, "no benchmark times for system: " + name);
+    return {};
+}
+
+double
+reported_edp_lr(const std::string &name)
+{
+    // Table X (J*s, LR per iteration), reconstructed: Poseidon ~1000x
+    // better than the GPU; CraterLake/BTS worse than Poseidon on LR,
+    // ARK better.
+    if (name == "over100x") return 773.6e-3 * 773.6e-3 * 300.0 * 1000.0;
+    if (name == "F1+") return 635.0e-3 * 635.0e-3 * 151.0;
+    if (name == "CraterLake") return 119.0e-3 * 119.0e-3 * 170.0;
+    if (name == "BTS") return 28.4e-3 * 28.4e-3 * 163.0;
+    if (name == "ARK") return 7.42e-3 * 7.42e-3 * 281.0;
+    POSEIDON_REQUIRE(false, "no EDP for system: " + name);
+    return 0;
+}
+
+std::vector<FpgaResources>
+prior_fpga_resources()
+{
+    // Table XII: FPGA prototypes' reported resource totals.
+    return {
+        // Reported totals of prior FPGA prototypes (FF, DSP, LUT/ALM,
+        // BRAM/M20K), approximated from the cited papers.
+        {"Kim et al. [25,26]", 963000, 5280, 720000, 1900},
+        {"HEAX [32]", 1398000, 5040, 699000, 2100},
+    };
+}
+
+} // namespace poseidon::baselines

@@ -1,0 +1,84 @@
+#ifndef POSEIDON_BASELINES_PUBLISHED_H_
+#define POSEIDON_BASELINES_PUBLISHED_H_
+
+/**
+ * @file
+ * Published-number comparator models.
+ *
+ * The GPU (over100x [21]), HEAX FPGA [32] and the four accelerator
+ * ASICs (F1+ [35,36], CraterLake [36], BTS [24], ARK [23]) are closed
+ * or simulation-only systems; like the paper itself, we compare against
+ * their reported numbers. Values below are reconstructed from the
+ * Poseidon paper's tables and the cited papers; where the source text
+ * is ambiguous we picked values consistent with the paper's headline
+ * claims (e.g. "up to 10.6x/8.7x speedup over GPU and the ASIC
+ * solution") and say so in EXPERIMENTS.md.
+ */
+
+#include <string>
+#include <vector>
+
+namespace poseidon::baselines {
+
+/// Static description of a comparator platform (Table VI left side).
+struct SystemSpec
+{
+    std::string name;
+    std::string platform;      ///< CPU / GPU / FPGA / ASIC
+    double memoryGB = 0;       ///< HBM/DRAM capacity
+    double offchipGBps = 0;    ///< off-chip bandwidth
+    double scratchpadMB = 0;   ///< on-chip storage
+    double clockGHz = 0;
+    double powerWatts = 0;     ///< typical reported power
+};
+
+/// Basic-operation throughput in operations per second (0 = n/a).
+struct BasicOpRates
+{
+    double hadd = 0;
+    double pmult = 0;
+    double cmult = 0;
+    double ntt = 0;
+    double keyswitch = 0;
+    double rotation = 0;
+    double rescale = 0;
+};
+
+/// Benchmark execution times in milliseconds (0 = not reported).
+struct BenchTimesMs
+{
+    double lr = 0;           ///< HELR, average per iteration
+    double lstm = 0;
+    double resnet20 = 0;
+    double bootstrapping = 0;///< fully packed bootstrapping
+};
+
+/// All comparator systems of the paper's evaluation.
+std::vector<SystemSpec> comparator_specs();
+
+/// Specs by name ("CPU", "over100x", "HEAX", "F1+", "CraterLake",
+/// "BTS", "ARK"). Throws for unknown names.
+SystemSpec spec(const std::string &name);
+
+/// Reported basic-op rates (Table IV columns for GPU and HEAX).
+BasicOpRates gpu_over100x_rates();
+BasicOpRates heax_rates();
+
+/// Reported full-benchmark times (Table VI / Fig. 8 comparators).
+BenchTimesMs bench_times(const std::string &name);
+
+/// Reported EDP in J*s for the LR benchmark (Table X comparators),
+/// normalized per iteration.
+double reported_edp_lr(const std::string &name);
+
+/// FPGA resource totals of prior FPGA prototypes (Table XII).
+struct FpgaResources
+{
+    std::string name;
+    unsigned long long ff, dsp, lut, bram;
+};
+std::vector<FpgaResources> prior_fpga_resources();
+
+} // namespace poseidon::baselines
+
+#endif // POSEIDON_BASELINES_PUBLISHED_H_

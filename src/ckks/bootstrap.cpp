@@ -1,0 +1,352 @@
+#include "ckks/bootstrap.h"
+
+#include "ckks/chebyshev.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+namespace {
+
+/// Diagonal d of a dense matrix: diag_d[j] = M[j][(j+d) mod n].
+std::vector<cdouble>
+extract_diagonal(const std::vector<std::vector<cdouble>> &m, std::size_t d)
+{
+    std::size_t n = m.size();
+    std::vector<cdouble> diag(n);
+    for (std::size_t j = 0; j < n; ++j) diag[j] = m[j][(j + d) % n];
+    return diag;
+}
+
+} // namespace
+
+Bootstrapper::Bootstrapper(CkksContextPtr ctx, const CkksEncoder &encoder,
+                           KeyGenerator &keygen, BootstrapConfig cfg)
+    : ctx_(std::move(ctx)), encoder_(encoder), cfg_(cfg)
+{
+    POSEIDON_REQUIRE(cfg_.taylorDegree >= 3 && cfg_.taylorDegree <= 15,
+                     "Bootstrapper: taylorDegree out of range");
+    std::size_t ns = ctx_->slots();
+
+    // BSGS split: n1 ~ sqrt(ns) rounded to a power of two.
+    n1_ = std::size_t(1) << ((log2_floor(ns) + 1) / 2);
+    nb_ = ns / n1_;
+
+    // Build the encoding matrices numerically from the encoder's own
+    // transforms (column k = transform(e_k)).
+    std::vector<std::vector<cdouble>> fwd(ns, std::vector<cdouble>(ns));
+    std::vector<std::vector<cdouble>> inv(ns, std::vector<cdouble>(ns));
+    std::vector<cdouble> col(ns);
+    for (std::size_t k = 0; k < ns; ++k) {
+        std::fill(col.begin(), col.end(), cdouble(0, 0));
+        col[k] = 1.0;
+        encoder_.fft_special(col);
+        for (std::size_t j = 0; j < ns; ++j) fwd[j][k] = col[j];
+
+        std::fill(col.begin(), col.end(), cdouble(0, 0));
+        col[k] = 1.0;
+        encoder_.fft_special_inv(col);
+        for (std::size_t j = 0; j < ns; ++j) inv[j][k] = col[j];
+    }
+
+    // CoeffToSlot folds the 1/q0 normalization into the matrix.
+    double q0 = static_cast<double>(ctx_->ring()->prime(0));
+    ctsDiags_.resize(ns);
+    stcDiags_.resize(ns);
+    for (std::size_t d = 0; d < ns; ++d) {
+        ctsDiags_[d] = extract_diagonal(inv, d);
+        for (auto &v : ctsDiags_[d]) {
+            v *= ctx_->params().scale() / q0;
+        }
+        stcDiags_[d] = extract_diagonal(fwd, d);
+    }
+    // The CtS constants carry Delta/q0; the matrix above was scaled by
+    // Delta/q0 so that slots after the transform hold t/q0 directly.
+
+    if (cfg_.variant == EvalModVariant::ChebyshevCos) {
+        double r2 = std::ldexp(1.0, static_cast<int>(
+            cfg_.doubleAngleIters));
+        cosCoeffs_ = chebyshev_interpolate(
+            [&](double x) {
+                return std::cos((2.0 * M_PI * x - M_PI / 2.0) / r2);
+            },
+            -cfg_.kRange, cfg_.kRange, cfg_.chebDegree);
+    }
+
+    // Keys: relinearization plus the BSGS rotations and conjugation.
+    relin_ = keygen.make_relin_key();
+    for (std::size_t g = 1; g < n1_; ++g) {
+        steps_.push_back(static_cast<long>(g));
+    }
+    for (std::size_t b = 1; b < nb_; ++b) {
+        steps_.push_back(static_cast<long>(b * n1_));
+    }
+    gk_ = keygen.make_galois_keys(steps_, /*includeConjugate=*/true);
+}
+
+std::size_t
+Bootstrapper::levels_consumed() const
+{
+    if (cfg_.variant == EvalModVariant::ChebyshevCos) {
+        // CtS 1 + split 1 + Chebyshev evaluation (affine 2, power
+        // ladder ~log2+3, BSGS recursion ~2*log2(deg/m)+1, scale
+        // normalization 1) + doubleAngle r + final constant 1 +
+        // combine 1 + StC 1. Conservative upper bound:
+        std::size_t m = 1;
+        while (m * m < cfg_.chebDegree + 1) m <<= 1;
+        std::size_t ladder = log2_floor(m) + 3;
+        std::size_t rec = 2 * (log2_floor(std::max<std::size_t>(
+                              cfg_.chebDegree / std::max<std::size_t>(m, 1),
+                              1)) + 1) + 2;
+        return 2 + 2 + ladder + rec + 1 + cfg_.doubleAngleIters + 1 +
+               1 + 1;
+    }
+    // CtS 1 + split 1 + argument scaling 1 + Horner taylorDegree +
+    // doubleAngle r + sine extraction 1 + combine 1 + StC 1.
+    return 1 + 1 + 1 + cfg_.taylorDegree + cfg_.doubleAngleIters + 1 +
+           1 + 1;
+}
+
+Ciphertext
+Bootstrapper::mod_raise(const Ciphertext &ct) const
+{
+    POSEIDON_REQUIRE(ct.num_limbs() == 1,
+                     "mod_raise: input must sit at the bottom level");
+    const auto &ring = ctx_->ring();
+    std::size_t n = ctx_->degree();
+    std::size_t L = ctx_->params().L;
+    u64 q0 = ring->prime(0);
+    const RnsBasis &full = ring->ct_basis(L);
+
+    auto raise_poly = [&](const RnsPoly &in) {
+        RnsPoly c = in;
+        c.to_coeff();
+        RnsPoly out = RnsPoly::ct(ring, L, Domain::Coeff);
+        std::vector<u64> res(L);
+        const u64 *src = c.limb(0);
+        for (std::size_t t = 0; t < n; ++t) {
+            i64 v = centered(src[t], q0);
+            full.decompose(v, res.data());
+            for (std::size_t k = 0; k < L; ++k) out.limb(k)[t] = res[k];
+        }
+        out.to_eval();
+        return out;
+    };
+
+    Ciphertext out;
+    out.c0 = raise_poly(ct.c0);
+    out.c1 = raise_poly(ct.c1);
+    out.scale = ct.scale;
+    return out;
+}
+
+Ciphertext
+Bootstrapper::mul_cscalar(const Ciphertext &ct, cdouble v,
+                          const CkksEvaluator &eval) const
+{
+    // Encode the constant at Delta*q/scale so the rescaled result sits
+    // at exactly Delta. Any relative deviation entering EvalMod would
+    // otherwise be amplified exponentially by the double-angle
+    // squarings (each squaring doubles the log-scale error).
+    double delta = ctx_->params().scale();
+    u64 q = ct.c0.prime(ct.num_limbs() - 1);
+    double e = delta * static_cast<double>(q) / ct.scale;
+    POSEIDON_REQUIRE(e >= 1.0, "mul_cscalar: scale too large to "
+                               "normalize at this level");
+    Plaintext pt = encoder_.encode_scalar(v, ct.num_limbs(), e);
+    Ciphertext out = eval.mul_plain(ct, pt);
+    eval.rescale_inplace(out);
+    out.scale = delta;
+    return out;
+}
+
+Ciphertext
+Bootstrapper::add_cscalar(const Ciphertext &ct, cdouble v) const
+{
+    Plaintext pt = encoder_.encode_scalar(v, ct.num_limbs(), ct.scale);
+    Ciphertext out = ct;
+    out.c0.add_inplace(pt.poly);
+    return out;
+}
+
+Ciphertext
+Bootstrapper::linear_transform(
+    const Ciphertext &ct, const std::vector<std::vector<cdouble>> &diags,
+    const CkksEvaluator &eval, double factor) const
+{
+    std::size_t ns = ctx_->slots();
+
+    // Baby-step rotations, hoisted: one digit decomposition of c1
+    // shared by all n1 rotations (Halevi-Shoup).
+    std::vector<long> babySteps(n1_);
+    for (std::size_t g = 0; g < n1_; ++g) {
+        babySteps[g] = static_cast<long>(g);
+    }
+    std::vector<Ciphertext> rots = eval.rotate_hoisted(ct, babySteps, gk_);
+
+    Ciphertext acc;
+    bool accSet = false;
+    std::vector<cdouble> diag(ns);
+    for (std::size_t b = 0; b < nb_; ++b) {
+        Ciphertext inner;
+        bool innerSet = false;
+        std::size_t shift = b * n1_;
+        for (std::size_t g = 0; g < n1_; ++g) {
+            const auto &d = diags[shift + g];
+            // Pre-rotate the diagonal right by the giant step.
+            for (std::size_t j = 0; j < ns; ++j) {
+                diag[j] = d[(j + ns - shift) % ns] * factor;
+            }
+            Plaintext pt = encoder_.encode(diag, rots[g].num_limbs());
+            Ciphertext term = eval.mul_plain(rots[g], pt);
+            if (innerSet) {
+                eval.add_inplace(inner, term);
+            } else {
+                inner = std::move(term);
+                innerSet = true;
+            }
+        }
+        if (shift != 0) {
+            inner = eval.rotate(inner, static_cast<long>(shift), gk_);
+        }
+        if (accSet) {
+            eval.add_inplace(acc, inner);
+        } else {
+            acc = std::move(inner);
+            accSet = true;
+        }
+    }
+    eval.rescale_inplace(acc);
+    return acc;
+}
+
+std::pair<Ciphertext, Ciphertext>
+Bootstrapper::coeff_to_slot(const Ciphertext &ct,
+                            const CkksEvaluator &eval,
+                            double msgScale) const
+{
+    // The stored diagonals carry Delta/q0; fold in the actual message
+    // scale so the transform outputs exactly t/q0 (t integer + m).
+    if (msgScale <= 0.0) msgScale = ctx_->params().scale();
+    double factor = msgScale / ctx_->params().scale();
+    Ciphertext z = linear_transform(ct, ctsDiags_, eval, factor);
+    Ciphertext zc = eval.conjugate(z, gk_);
+
+    // lo = (z + conj z) / 2, hi = (z - conj z) * (-i/2).
+    Ciphertext lo = eval.add(z, zc);
+    lo = mul_cscalar(lo, cdouble(0.5, 0.0), eval);
+    Ciphertext hi = eval.sub(z, zc);
+    hi = mul_cscalar(hi, cdouble(0.0, -0.5), eval);
+    return {std::move(lo), std::move(hi)};
+}
+
+Ciphertext
+Bootstrapper::eval_mod(const Ciphertext &ct, const CkksEvaluator &eval,
+                       double msgScale) const
+{
+    double q0 = static_cast<double>(ctx_->ring()->prime(0));
+    double delta = msgScale > 0.0 ? msgScale : ctx_->params().scale();
+    unsigned r = cfg_.doubleAngleIters;
+    unsigned deg = cfg_.taylorDegree;
+
+    if (cfg_.variant == EvalModVariant::ChebyshevCos) {
+        // u ~ cos((2*pi*x - pi/2)/2^r), real Chebyshev evaluation.
+        ChebyshevEvaluator cheb(ctx_, encoder_, eval);
+        Ciphertext u = cheb.evaluate(ct, cosCoeffs_, -cfg_.kRange,
+                                     cfg_.kRange, relin_);
+        u = eval.adjust_scale(u, ctx_->params().scale());
+        // Double angle: cos(2t) = 2cos^2(t) - 1, r times, landing on
+        // cos(2*pi*x - pi/2) = sin(2*pi*x).
+        for (unsigned i = 0; i < r; ++i) {
+            Ciphertext sq = eval.square(u, relin_);
+            eval.rescale_inplace(sq);
+            sq = eval.mul_integer(sq, 2);
+            Plaintext one = encoder_.encode_scalar(
+                cdouble(-1.0, 0.0), sq.num_limbs(), sq.scale);
+            u = eval.add_plain(sq, one);
+        }
+        // * q0 / (2*pi*msgScale) to land on m at message scale.
+        return mul_cscalar(u, cdouble(q0 / (2.0 * M_PI * delta), 0.0),
+                           eval);
+    }
+
+    // y = 2*pi*x / 2^r.
+    double argScale = 2.0 * M_PI / std::ldexp(1.0, static_cast<int>(r));
+    Ciphertext y = mul_cscalar(ct, cdouble(argScale, 0.0), eval);
+
+    // Taylor coefficients of exp(i*y): c_d = i^d / d!.
+    std::vector<cdouble> c(deg + 1);
+    double fact = 1.0;
+    for (unsigned d = 0; d <= deg; ++d) {
+        if (d > 0) fact *= static_cast<double>(d);
+        cdouble id;
+        switch (d % 4) {
+          case 0: id = cdouble(1, 0); break;
+          case 1: id = cdouble(0, 1); break;
+          case 2: id = cdouble(-1, 0); break;
+          default: id = cdouble(0, -1); break;
+        }
+        c[d] = id / fact;
+    }
+
+    // Horner: u = (..((c_deg*y + c_{deg-1})*y + ...)*y + c_0.
+    Ciphertext u = mul_cscalar(y, c[deg], eval);
+    u = add_cscalar(u, c[deg - 1]);
+    for (unsigned d = deg - 1; d-- > 0;) {
+        Ciphertext yMatched = y;
+        eval.drop_to_limbs_inplace(yMatched, u.num_limbs());
+        u = eval.mul(u, yMatched, relin_);
+        eval.rescale_inplace(u);
+        u = add_cscalar(u, c[d]);
+    }
+
+    // Double angle: square r times to reach exp(2*pi*i*x).
+    for (unsigned i = 0; i < r; ++i) {
+        u = eval.square(u, relin_);
+        eval.rescale_inplace(u);
+    }
+
+    // sin(2 pi x) * q0 / (2 pi): (u - conj u) * (-i/2) * q0/(2 pi delta)
+    // — the final delta folds the result back to message scale.
+    Ciphertext uc = eval.conjugate(u, gk_);
+    Ciphertext s = eval.sub(u, uc);
+    double k = q0 / (2.0 * M_PI * delta);
+    return mul_cscalar(s, cdouble(0.0, -0.5) * k, eval);
+}
+
+Ciphertext
+Bootstrapper::slot_to_coeff(const Ciphertext &lo, const Ciphertext &hi,
+                            const CkksEvaluator &eval) const
+{
+    // z = lo + i*hi, run both through one scalar mult to equalize
+    // scale and level exactly.
+    Ciphertext a = mul_cscalar(lo, cdouble(1.0, 0.0), eval);
+    Ciphertext b = mul_cscalar(hi, cdouble(0.0, 1.0), eval);
+    Ciphertext z = eval.add(a, b);
+    return linear_transform(z, stcDiags_, eval);
+}
+
+Ciphertext
+Bootstrapper::bootstrap(const Ciphertext &ct,
+                        const CkksEvaluator &eval) const
+{
+    POSEIDON_REQUIRE(ctx_->params().L >= levels_consumed() + 2,
+                     "bootstrap: modulus chain too short for the "
+                     "configured EvalMod depth");
+    Ciphertext in = ct;
+    if (in.num_limbs() > 1) eval.drop_to_limbs_inplace(in, 1);
+
+    double msgScale = in.scale;
+    Ciphertext raised = mod_raise(in);
+    auto [lo, hi] = coeff_to_slot(raised, eval, msgScale);
+    Ciphertext mlo = eval_mod(lo, eval, msgScale);
+    Ciphertext mhi = eval_mod(hi, eval, msgScale);
+    Ciphertext out = slot_to_coeff(mlo, mhi, eval);
+    // The EvalMod constant already folded 1/msgScale, so the output
+    // message is back at the scale the pipeline tracked.
+    return out;
+}
+
+} // namespace poseidon

@@ -1,0 +1,149 @@
+#ifndef POSEIDON_CKKS_BOOTSTRAP_H_
+#define POSEIDON_CKKS_BOOTSTRAP_H_
+
+/**
+ * @file
+ * Packed CKKS bootstrapping (the paper's most complex basic operation,
+ * benchmark 4 of its evaluation).
+ *
+ * Pipeline, following the packed bootstrapping the paper cites [30]:
+ *
+ *  1. ModRaise    — reinterpret a bottom-level ciphertext mod q_0 over
+ *                   the full chain; the message becomes m + q_0*I with
+ *                   small integer polynomial I.
+ *  2. CoeffToSlot — homomorphic inverse-encoding matrix (BSGS linear
+ *                   transform with ~2*sqrt(n) rotations) moving
+ *                   coefficients into slots, scaled by 1/q_0; the slots
+ *                   then hold t/q_0 in [-K, K].
+ *  3. EvalMod     — approximate t mod q_0 via
+ *                   q_0/(2*pi) * sin(2*pi*t/q_0): Taylor series of
+ *                   exp(i*y/2^r) followed by r squarings (double-angle),
+ *                   imaginary part extracted with one conjugation.
+ *  4. SlotToCoeff — the forward encoding matrix, moving the cleaned
+ *                   slots back into coefficients.
+ *
+ * All four stages decompose into the five Poseidon operators, which is
+ * exactly why the accelerator can run bootstrapping by operator reuse.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+#include "ckks/keys.h"
+
+namespace poseidon {
+
+/// Which approximation EvalMod uses.
+enum class EvalModVariant {
+    /// Taylor series of exp(i*y) + double-angle squarings + one
+    /// conjugation to extract the imaginary part (HEAAN-style).
+    TaylorExp,
+    /// Chebyshev interpolation of cos((2*pi*x - pi/2)/2^r) followed by
+    /// double-angle cos(2t)=2cos^2(t)-1 — real arithmetic only, the
+    /// approach of modern packed bootstrapping (the paper's [30]).
+    ChebyshevCos,
+};
+
+/// Tunables of the EvalMod approximation.
+struct BootstrapConfig
+{
+    EvalModVariant variant = EvalModVariant::TaylorExp;
+
+    /// Taylor degree for exp(i*y) (7 is the classic choice).
+    unsigned taylorDegree = 7;
+
+    /// Number of double-angle squarings r; the approximation argument
+    /// is divided by 2^r, so larger r widens the valid range of I.
+    unsigned doubleAngleIters = 8;
+
+    /// Chebyshev degree for the ChebyshevCos variant.
+    unsigned chebDegree = 20;
+
+    /// Half-width K of the EvalMod input range [-K, K] (bounds |I|).
+    double kRange = 17.0;
+};
+
+/**
+ * One-time bootstrap engine: owns the CoeffToSlot/SlotToCoeff diagonal
+ * tables, the relinearization key and the BSGS rotation keys.
+ */
+class Bootstrapper
+{
+  public:
+    /**
+     * Builds all matrices and keys. `keygen` must outlive nothing —
+     * keys are copied in.
+     */
+    Bootstrapper(CkksContextPtr ctx, const CkksEncoder &encoder,
+                 KeyGenerator &keygen, BootstrapConfig cfg = {});
+
+    /**
+     * Levels one bootstrap consumes from the top of the chain. The
+     * context must satisfy L >= levels_consumed() + 2 for the result
+     * to land above the input.
+     */
+    std::size_t levels_consumed() const;
+
+    /// Refresh a bottom-level ciphertext to a high level.
+    Ciphertext bootstrap(const Ciphertext &ct,
+                         const CkksEvaluator &eval) const;
+
+    // -- exposed stages (tests, ISA tracing) --
+
+    /// Stage 1: reinterpret a 1-limb ciphertext over the full chain.
+    Ciphertext mod_raise(const Ciphertext &ct) const;
+
+    /**
+     * Stage 2: returns (lo, hi) with slots t_j/q0 and t_{j+n/2}/q0.
+     * `msgScale` is the scale the input message was encoded at
+     * (<= 0: the context default); it must be folded into the matrix
+     * constants so that integer multiples of q0 stay integer.
+     */
+    std::pair<Ciphertext, Ciphertext>
+    coeff_to_slot(const Ciphertext &ct, const CkksEvaluator &eval,
+                  double msgScale = -1.0) const;
+
+    /// Stage 3: q0/(2 pi msgScale)-scaled sine of one real-slot input.
+    Ciphertext eval_mod(const Ciphertext &ct, const CkksEvaluator &eval,
+                        double msgScale = -1.0) const;
+
+    /// Stage 4: recombine and apply the forward encoding matrix.
+    Ciphertext slot_to_coeff(const Ciphertext &lo, const Ciphertext &hi,
+                             const CkksEvaluator &eval) const;
+
+    /// The BSGS rotation steps this instance uses (for ISA tracing).
+    const std::vector<long>& rotation_steps() const { return steps_; }
+
+  private:
+    /// out = factor * M * in as a BSGS diagonal linear transform
+    /// (one rescale).
+    Ciphertext linear_transform(
+        const Ciphertext &ct,
+        const std::vector<std::vector<cdouble>> &diags,
+        const CkksEvaluator &eval, double factor = 1.0) const;
+
+    /// ct * complex scalar at the default scale, rescaled.
+    Ciphertext mul_cscalar(const Ciphertext &ct, cdouble v,
+                           const CkksEvaluator &eval) const;
+
+    /// ct + complex scalar (exact scale match, no level cost).
+    Ciphertext add_cscalar(const Ciphertext &ct, cdouble v) const;
+
+    CkksContextPtr ctx_;
+    const CkksEncoder &encoder_;
+    BootstrapConfig cfg_;
+    KSwitchKey relin_;
+    GaloisKeys gk_;
+    std::vector<long> steps_;
+    std::size_t n1_; ///< baby-step count
+    std::size_t nb_; ///< giant-step count
+    std::vector<std::vector<cdouble>> ctsDiags_; ///< invFFT * (1/q0)
+    std::vector<std::vector<cdouble>> stcDiags_; ///< forward FFT
+    std::vector<double> cosCoeffs_; ///< ChebyshevCos interpolation
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_CKKS_BOOTSTRAP_H_

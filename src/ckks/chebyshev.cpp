@@ -1,0 +1,260 @@
+#include "ckks/chebyshev.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+std::vector<double>
+chebyshev_interpolate(const std::function<double(double)> &f, double a,
+                      double b, unsigned degree)
+{
+    POSEIDON_REQUIRE(b > a, "chebyshev_interpolate: empty interval");
+    unsigned m = degree + 1;
+    std::vector<double> fv(m);
+    for (unsigned k = 0; k < m; ++k) {
+        double theta = M_PI * (k + 0.5) / m;
+        double y = std::cos(theta);
+        double x = 0.5 * (y * (b - a) + (a + b));
+        fv[k] = f(x);
+    }
+    std::vector<double> c(m);
+    for (unsigned j = 0; j < m; ++j) {
+        double acc = 0;
+        for (unsigned k = 0; k < m; ++k) {
+            acc += fv[k] * std::cos(j * M_PI * (k + 0.5) / m);
+        }
+        c[j] = (j == 0 ? 1.0 : 2.0) * acc / m;
+    }
+    return c;
+}
+
+double
+chebyshev_eval_plain(const std::vector<double> &coeffs, double a,
+                     double b, double x)
+{
+    double y = (2.0 * x - a - b) / (b - a);
+    // Clenshaw recurrence.
+    double b1 = 0, b2 = 0;
+    for (std::size_t j = coeffs.size(); j-- > 1;) {
+        double t = 2.0 * y * b1 - b2 + coeffs[j];
+        b2 = b1;
+        b1 = t;
+    }
+    return y * b1 - b2 + coeffs[0];
+}
+
+ChebyshevEvaluator::ChebyshevEvaluator(CkksContextPtr ctx,
+                                       const CkksEncoder &encoder,
+                                       const CkksEvaluator &eval)
+    : ctx_(std::move(ctx)), encoder_(encoder), eval_(eval)
+{}
+
+Ciphertext
+ChebyshevEvaluator::cheb_double(const Ciphertext &t,
+                                const KSwitchKey &relin) const
+{
+    Ciphertext s = eval_.square(t, relin);
+    eval_.rescale_inplace(s);
+    s = eval_.mul_integer(s, 2);
+    Plaintext one = encoder_.encode_scalar(cdouble(-1.0, 0.0),
+                                           s.num_limbs(), s.scale);
+    s = eval_.add_plain(s, one);
+    return s;
+}
+
+std::vector<Ciphertext>
+ChebyshevEvaluator::make_powers(const Ciphertext &y, std::size_t count,
+                                const KSwitchKey &relin) const
+{
+    std::vector<Ciphertext> t;
+    t.reserve(count);
+    t.push_back(y); // T_1
+    for (std::size_t j = 2; j <= count; ++j) {
+        if (j % 2 == 0) {
+            t.push_back(cheb_double(t[j / 2 - 1], relin));
+        } else {
+            // T_{2k+1} = 2 T_k T_{k+1} - T_1. Multiplication only needs
+            // matching limbs (scales multiply); only the subtraction
+            // needs an exact scale match, done by adjusting a T_1 copy.
+            Ciphertext a = t[j / 2 - 1];
+            Ciphertext b = t[j / 2];
+            std::size_t lim = std::min(a.num_limbs(), b.num_limbs());
+            eval_.drop_to_limbs_inplace(a, lim);
+            eval_.drop_to_limbs_inplace(b, lim);
+            Ciphertext p = eval_.mul(a, b, relin);
+            eval_.rescale_inplace(p);
+            p = eval_.mul_integer(p, 2);
+            Ciphertext t1 = t[0];
+            eval_.drop_to_limbs_inplace(t1, p.num_limbs());
+            t1 = eval_.adjust_scale(t1, p.scale);
+            eval_.drop_to_limbs_inplace(p, t1.num_limbs());
+            eval_.sub_inplace(p, t1);
+            t.push_back(std::move(p));
+        }
+    }
+    return t;
+}
+
+Ciphertext
+ChebyshevEvaluator::direct_eval(
+    const std::vector<double> &c,
+    const std::vector<Ciphertext> &powers) const
+{
+    std::size_t limbs = powers[0].num_limbs();
+    Ciphertext acc;
+    bool set = false;
+    for (std::size_t j = 1; j < c.size(); ++j) {
+        if (std::abs(c[j]) < 1e-14 && set) continue;
+        POSEIDON_REQUIRE(j <= powers.size(),
+                         "direct_eval: degree exceeds resident powers");
+        Plaintext pt = encoder_.encode_scalar(cdouble(c[j], 0.0), limbs);
+        Ciphertext term = eval_.mul_plain(powers[j - 1], pt);
+        if (set) {
+            eval_.add_inplace(acc, term);
+        } else {
+            acc = std::move(term);
+            set = true;
+        }
+    }
+    if (!set) {
+        // Degenerate constant polynomial: 0 * T_1 keeps the shape.
+        Plaintext pt = encoder_.encode_scalar(cdouble(0.0, 0.0), limbs);
+        acc = eval_.mul_plain(powers[0], pt);
+    }
+    // Settle to ~Delta first; adding c_0 at the product scale
+    // (Delta^2) would overflow the encoder's 62-bit coefficients.
+    eval_.rescale_inplace(acc);
+    Plaintext c0 = encoder_.encode_scalar(cdouble(c.empty() ? 0 : c[0],
+                                                  0.0),
+                                          acc.num_limbs(), acc.scale);
+    acc = eval_.add_plain(acc, c0);
+    return acc;
+}
+
+namespace {
+
+/// Chebyshev division: c = q * T_N + r with deg(r) < N, using
+/// T_j = 2 T_{j-N} T_N - T_{|j-2N|}.
+void
+cheb_divmod(const std::vector<double> &c, std::size_t N,
+            std::vector<double> &q, std::vector<double> &r)
+{
+    r = c;
+    q.assign(c.size() > N ? c.size() - N : 1, 0.0);
+    for (std::size_t j = c.size(); j-- > N;) {
+        double a = r[j];
+        if (a == 0.0) continue;
+        r[j] = 0.0;
+        if (j == N) {
+            q[0] += a;
+        } else {
+            q[j - N] += 2.0 * a;
+            std::size_t idx = (j >= 2 * N) ? j - 2 * N : 2 * N - j;
+            r[idx] -= a;
+        }
+    }
+    r.resize(N);
+}
+
+} // namespace
+
+Ciphertext
+ChebyshevEvaluator::evaluate(const Ciphertext &x,
+                             const std::vector<double> &coeffs, double a,
+                             double b, const KSwitchKey &relin) const
+{
+    POSEIDON_REQUIRE(!coeffs.empty(), "evaluate: empty coefficients");
+    POSEIDON_REQUIRE(b > a, "evaluate: empty interval");
+    std::size_t degree = coeffs.size() - 1;
+
+    // y = (2x - a - b)/(b - a), at exactly the default scale.
+    Ciphertext y = eval_.mul_scalar(x, 2.0 / (b - a));
+    eval_.rescale_inplace(y);
+    y = eval_.adjust_scale(y, ctx_->params().scale());
+    Plaintext shift = encoder_.encode_scalar(
+        cdouble(-(a + b) / (b - a), 0.0), y.num_limbs(), y.scale);
+    y = eval_.add_plain(y, shift);
+
+    if (degree == 0) {
+        Ciphertext c = eval_.mul_scalar(y, 0.0);
+        eval_.rescale_inplace(c);
+        Plaintext c0 = encoder_.encode_scalar(cdouble(coeffs[0], 0.0),
+                                              c.num_limbs(), c.scale);
+        return eval_.add_plain(c, c0);
+    }
+
+    // Baby powers T_1..T_m, m ~ sqrt(degree+1) (power of two).
+    std::size_t m = 1;
+    while (m * m < degree + 1) m <<= 1;
+    if (m > degree) m = degree; // tiny polynomials
+    std::vector<Ciphertext> powers =
+        make_powers(y, std::max<std::size_t>(m, 1), relin);
+
+    // Giants T_{m * 2^i} while <= degree.
+    std::vector<std::size_t> giantDeg;
+    std::vector<Ciphertext> giants;
+    if (m <= degree && m >= 1) {
+        giantDeg.push_back(m);
+        giants.push_back(powers[m - 1]);
+        while (giantDeg.back() * 2 <= degree) {
+            giants.push_back(cheb_double(giants.back(), relin));
+            giantDeg.push_back(giantDeg.back() * 2);
+        }
+    }
+
+    // Normalize every resident power to one (level, scale).
+    std::size_t minLimbs = powers[0].num_limbs();
+    for (const auto &p : powers) {
+        minLimbs = std::min(minLimbs, p.num_limbs());
+    }
+    for (const auto &g : giants) {
+        minLimbs = std::min(minLimbs, g.num_limbs());
+    }
+    POSEIDON_REQUIRE(minLimbs >= 2,
+                     "evaluate: not enough levels for this degree");
+    double delta = ctx_->params().scale();
+    auto normalize = [&](Ciphertext &p) {
+        eval_.drop_to_limbs_inplace(p, minLimbs);
+        p = eval_.adjust_scale(p, delta);
+    };
+    for (auto &p : powers) normalize(p);
+    for (auto &g : giants) normalize(g);
+
+    // Recursive Paterson-Stockmeyer over the Chebyshev basis.
+    std::function<Ciphertext(const std::vector<double> &)> rec =
+        [&](const std::vector<double> &c) -> Ciphertext {
+        std::size_t deg = c.size() - 1;
+        if (deg < m || giants.empty()) {
+            return direct_eval(c, powers);
+        }
+        // Largest giant <= deg.
+        std::size_t gi = 0;
+        for (std::size_t i = 0; i < giantDeg.size(); ++i) {
+            if (giantDeg[i] <= deg) gi = i;
+        }
+        std::vector<double> q, r;
+        cheb_divmod(c, giantDeg[gi], q, r);
+
+        Ciphertext eq = rec(q);
+        Ciphertext g = giants[gi];
+        std::size_t lim = std::min(eq.num_limbs(), g.num_limbs());
+        eval_.drop_to_limbs_inplace(eq, lim);
+        eval_.drop_to_limbs_inplace(g, lim);
+        Ciphertext prod = eval_.mul(eq, g, relin);
+        eval_.rescale_inplace(prod);
+
+        Ciphertext er = rec(r);
+        eval_.equalize_inplace(prod, er);
+        eval_.add_inplace(prod, er);
+        return prod;
+    };
+
+    // Trim trailing zeros for a tight recursion.
+    std::vector<double> c = coeffs;
+    while (c.size() > 1 && std::abs(c.back()) < 1e-14) c.pop_back();
+    return rec(c);
+}
+
+} // namespace poseidon

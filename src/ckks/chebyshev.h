@@ -1,0 +1,74 @@
+#ifndef POSEIDON_CKKS_CHEBYSHEV_H_
+#define POSEIDON_CKKS_CHEBYSHEV_H_
+
+/**
+ * @file
+ * Chebyshev series machinery: interpolation of arbitrary functions and
+ * homomorphic evaluation of Chebyshev expansions with baby-step /
+ * giant-step power reuse (Paterson-Stockmeyer over the Chebyshev
+ * basis). This is the polynomial engine behind modern packed
+ * bootstrapping's cosine EvalMod (the paper's citation [30]) and is
+ * exposed as a general utility for approximating smooth functions
+ * (sigmoid, exp, inverse, ...) under encryption.
+ */
+
+#include <functional>
+
+#include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+
+namespace poseidon {
+
+/**
+ * Chebyshev interpolation of f on [a, b]: returns coefficients c such
+ * that f(x) ~ sum_j c_j T_j(y) with y = (2x - a - b)/(b - a).
+ */
+std::vector<double>
+chebyshev_interpolate(const std::function<double(double)> &f, double a,
+                      double b, unsigned degree);
+
+/// Plaintext evaluation of a Chebyshev expansion (Clenshaw).
+double
+chebyshev_eval_plain(const std::vector<double> &coeffs, double a,
+                     double b, double x);
+
+/// Homomorphic Chebyshev-series evaluation.
+class ChebyshevEvaluator
+{
+  public:
+    ChebyshevEvaluator(CkksContextPtr ctx, const CkksEncoder &encoder,
+                       const CkksEvaluator &eval);
+
+    /**
+     * Evaluate sum_j coeffs[j] T_j(y) on the encrypted x, where
+     * y = (2x - a - b)/(b - a) maps [a, b] to [-1, 1]. Consumes
+     * roughly 2*ceil(log2(degree)) + 3 levels; the input must have at
+     * least that many limbs above 1.
+     */
+    Ciphertext evaluate(const Ciphertext &x,
+                        const std::vector<double> &coeffs, double a,
+                        double b, const KSwitchKey &relin) const;
+
+  private:
+    /// All Chebyshev power ciphertexts, normalized to one (level,
+    /// scale): powers[j] encrypts T_j(y) for j in [1, count].
+    std::vector<Ciphertext>
+    make_powers(const Ciphertext &y, std::size_t count,
+                const KSwitchKey &relin) const;
+
+    /// 2*t^2 - 1 (Chebyshev doubling), one level.
+    Ciphertext cheb_double(const Ciphertext &t,
+                           const KSwitchKey &relin) const;
+
+    /// Direct leaf evaluation: sum_j c_j T_j using resident powers.
+    Ciphertext direct_eval(const std::vector<double> &c,
+                           const std::vector<Ciphertext> &powers) const;
+
+    CkksContextPtr ctx_;
+    const CkksEncoder &encoder_;
+    const CkksEvaluator &eval_;
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_CKKS_CHEBYSHEV_H_

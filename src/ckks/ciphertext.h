@@ -1,0 +1,41 @@
+#ifndef POSEIDON_CKKS_CIPHERTEXT_H_
+#define POSEIDON_CKKS_CIPHERTEXT_H_
+
+/**
+ * @file
+ * Plaintext and Ciphertext value types.
+ *
+ * Both carry the CKKS scale alongside their polynomial data. Limb count
+ * determines the level: a polynomial over l+1 ciphertext primes sits at
+ * level l, and rescaling drops one limb.
+ */
+
+#include "poly/poly.h"
+
+namespace poseidon {
+
+/// An encoded (not encrypted) CKKS message.
+struct Plaintext
+{
+    RnsPoly poly;       ///< usually kept in Eval domain
+    double scale = 1.0; ///< encoding scale Delta
+
+    std::size_t num_limbs() const { return poly.num_limbs(); }
+    std::size_t level() const { return poly.num_limbs() - 1; }
+};
+
+/// A degree-1 RLWE ciphertext (c0, c1) with decryption c0 + c1*s.
+struct Ciphertext
+{
+    RnsPoly c0;
+    RnsPoly c1;
+    double scale = 1.0;
+
+    std::size_t num_limbs() const { return c0.num_limbs(); }
+    std::size_t level() const { return c0.num_limbs() - 1; }
+    std::size_t degree() const { return c0.degree(); }
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_CKKS_CIPHERTEXT_H_

@@ -1,0 +1,167 @@
+#include "ckks/encoder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+namespace {
+
+void
+array_bit_reverse(std::vector<cdouble> &vals)
+{
+    std::size_t n = vals.size();
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(vals[i], vals[j]);
+    }
+}
+
+} // namespace
+
+CkksEncoder::CkksEncoder(CkksContextPtr ctx)
+    : ctx_(std::move(ctx)),
+      slots_(ctx_->slots()),
+      m_(2 * ctx_->degree())
+{
+    ksiPows_.resize(m_ + 1);
+    for (std::size_t k = 0; k <= m_; ++k) {
+        double angle = 2.0 * M_PI * static_cast<double>(k) /
+                       static_cast<double>(m_);
+        ksiPows_[k] = cdouble(std::cos(angle), std::sin(angle));
+    }
+    rotGroup_.resize(slots_);
+    std::size_t fivePow = 1;
+    for (std::size_t j = 0; j < slots_; ++j) {
+        rotGroup_[j] = fivePow;
+        fivePow = (fivePow * 5) % m_;
+    }
+}
+
+void
+CkksEncoder::fft_special(std::vector<cdouble> &vals) const
+{
+    std::size_t size = vals.size();
+    POSEIDON_REQUIRE(is_pow2(size) && size <= slots_,
+                     "fft_special: bad size");
+    array_bit_reverse(vals);
+    for (std::size_t len = 2; len <= size; len <<= 1) {
+        for (std::size_t i = 0; i < size; i += len) {
+            std::size_t lenh = len >> 1;
+            std::size_t lenq = len << 2;
+            for (std::size_t j = 0; j < lenh; ++j) {
+                std::size_t idx = (rotGroup_[j] % lenq) * (m_ / lenq);
+                cdouble u = vals[i + j];
+                cdouble v = vals[i + j + lenh] * ksiPows_[idx];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+        }
+    }
+}
+
+void
+CkksEncoder::fft_special_inv(std::vector<cdouble> &vals) const
+{
+    std::size_t size = vals.size();
+    POSEIDON_REQUIRE(is_pow2(size) && size <= slots_,
+                     "fft_special_inv: bad size");
+    for (std::size_t len = size; len >= 1; len >>= 1) {
+        for (std::size_t i = 0; i < size; i += len) {
+            std::size_t lenh = len >> 1;
+            std::size_t lenq = len << 2;
+            for (std::size_t j = 0; j < lenh; ++j) {
+                std::size_t idx =
+                    (lenq - (rotGroup_[j] % lenq)) * (m_ / lenq);
+                cdouble u = vals[i + j] + vals[i + j + lenh];
+                cdouble v = (vals[i + j] - vals[i + j + lenh]) *
+                            ksiPows_[idx];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+        }
+        if (len == 1) break; // len is unsigned; avoid wrap
+    }
+    array_bit_reverse(vals);
+    double inv = 1.0 / static_cast<double>(size);
+    for (auto &v : vals) v *= inv;
+}
+
+Plaintext
+CkksEncoder::encode(const std::vector<cdouble> &values, std::size_t limbs,
+                    double scale) const
+{
+    POSEIDON_REQUIRE(values.size() <= slots_,
+                     "encode: too many values for the slot count");
+    if (scale <= 0.0) scale = ctx_->params().scale();
+
+    std::vector<cdouble> vals(slots_, cdouble(0, 0));
+    std::copy(values.begin(), values.end(), vals.begin());
+    fft_special_inv(vals);
+
+    std::size_t n = ctx_->degree();
+    std::vector<i64> coeffs(n);
+    constexpr double kMaxCoeff = 4.0e18; // i64 headroom guard
+    for (std::size_t j = 0; j < slots_; ++j) {
+        double re = vals[j].real() * scale;
+        double im = vals[j].imag() * scale;
+        POSEIDON_REQUIRE(std::abs(re) < kMaxCoeff &&
+                         std::abs(im) < kMaxCoeff,
+                         "encode: coefficient overflows 62 bits — "
+                         "scale too large for these values");
+        coeffs[j] = static_cast<i64>(std::llround(re));
+        coeffs[j + slots_] = static_cast<i64>(std::llround(im));
+    }
+
+    Plaintext pt;
+    pt.poly = RnsPoly::ct(ctx_->ring(), limbs, Domain::Coeff);
+    pt.poly.assign_signed(coeffs);
+    pt.poly.to_eval();
+    pt.scale = scale;
+    return pt;
+}
+
+Plaintext
+CkksEncoder::encode_real(const std::vector<double> &values,
+                         std::size_t limbs, double scale) const
+{
+    std::vector<cdouble> v(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) v[i] = values[i];
+    return encode(v, limbs, scale);
+}
+
+Plaintext
+CkksEncoder::encode_scalar(cdouble value, std::size_t limbs,
+                           double scale) const
+{
+    return encode(std::vector<cdouble>(slots_, value), limbs, scale);
+}
+
+std::vector<cdouble>
+CkksEncoder::decode(const Plaintext &pt) const
+{
+    RnsPoly poly = pt.poly;
+    poly.to_coeff();
+
+    std::size_t limbs = poly.num_limbs();
+    const RnsBasis &basis = ctx_->ring()->ct_basis(limbs);
+
+    std::vector<u64> res(limbs);
+    std::vector<cdouble> vals(slots_);
+    for (std::size_t j = 0; j < slots_; ++j) {
+        for (std::size_t k = 0; k < limbs; ++k) res[k] = poly.limb(k)[j];
+        double re = basis.compose_centered_double(res.data());
+        for (std::size_t k = 0; k < limbs; ++k) {
+            res[k] = poly.limb(k)[j + slots_];
+        }
+        double im = basis.compose_centered_double(res.data());
+        vals[j] = cdouble(re / pt.scale, im / pt.scale);
+    }
+    fft_special(vals);
+    return vals;
+}
+
+} // namespace poseidon

@@ -1,0 +1,72 @@
+#ifndef POSEIDON_CKKS_ENCODER_H_
+#define POSEIDON_CKKS_ENCODER_H_
+
+/**
+ * @file
+ * CKKS encoder: canonical-embedding encoding of complex vectors.
+ *
+ * A message vector z in C^{N/2} maps to a real polynomial m(X) whose
+ * evaluations at the primitive 2N-th roots of unity (one per conjugate
+ * orbit, ordered by powers of 5) equal Delta * z. Encoding runs the
+ * special inverse FFT over the rot-group ordering (HEAAN-style), scales
+ * by Delta and rounds; decoding is the forward special FFT. Slot
+ * rotation by r then corresponds to the Galois map X -> X^{5^r}.
+ */
+
+#include <complex>
+#include <vector>
+
+#include "ckks/ciphertext.h"
+#include "ckks/params.h"
+
+namespace poseidon {
+
+using cdouble = std::complex<double>;
+
+/// Encoder/decoder for one context (owns the root/rot-group tables).
+class CkksEncoder
+{
+  public:
+    explicit CkksEncoder(CkksContextPtr ctx);
+
+    std::size_t slots() const { return slots_; }
+
+    /**
+     * Encode a complex vector into a plaintext over `limbs` primes.
+     * The vector may be shorter than slots(); it is zero-padded.
+     *
+     * @param scale  encoding scale; <= 0 means the context default
+     */
+    Plaintext encode(const std::vector<cdouble> &values,
+                     std::size_t limbs, double scale = -1.0) const;
+
+    /// Encode a real vector (imaginary parts zero).
+    Plaintext encode_real(const std::vector<double> &values,
+                          std::size_t limbs, double scale = -1.0) const;
+
+    /// Encode the same scalar into every slot.
+    Plaintext encode_scalar(cdouble value, std::size_t limbs,
+                            double scale = -1.0) const;
+
+    /// Decode a plaintext back to slots() complex values.
+    std::vector<cdouble> decode(const Plaintext &pt) const;
+
+    /**
+     * Direct access to the special FFT used by encode/decode; the
+     * bootstrapper uses these to build CoeffToSlot/SlotToCoeff
+     * matrices.
+     */
+    void fft_special(std::vector<cdouble> &vals) const;
+    void fft_special_inv(std::vector<cdouble> &vals) const;
+
+  private:
+    CkksContextPtr ctx_;
+    std::size_t slots_;
+    std::size_t m_;                    ///< 2N
+    std::vector<cdouble> ksiPows_;     ///< exp(2*pi*i*k/M), k in [0, M]
+    std::vector<std::size_t> rotGroup_; ///< 5^j mod M, j in [0, slots)
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_CKKS_ENCODER_H_

@@ -1,0 +1,127 @@
+#include "ckks/encryptor.h"
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+CkksEncryptor::CkksEncryptor(CkksContextPtr ctx, PublicKey pk, u64 seed)
+    : ctx_(std::move(ctx)), pk_(std::move(pk)), sampler_(seed)
+{}
+
+Ciphertext
+CkksEncryptor::encrypt(const Plaintext &pt)
+{
+    POSEIDON_REQUIRE(pt.poly.domain() == Domain::Eval,
+                     "encrypt: plaintext must be in Eval domain");
+    std::size_t limbs = pt.num_limbs();
+    std::size_t n = ctx_->degree();
+    const auto &ring = ctx_->ring();
+
+    // Ephemeral ternary u and errors e0, e1.
+    RnsPoly u = RnsPoly::ct(ring, limbs, Domain::Coeff);
+    u.assign_signed(sampler_.ternary(n));
+    u.to_eval();
+
+    RnsPoly e0 = RnsPoly::ct(ring, limbs, Domain::Coeff);
+    e0.assign_signed(sampler_.gaussian(n));
+    e0.to_eval();
+    RnsPoly e1 = RnsPoly::ct(ring, limbs, Domain::Coeff);
+    e1.assign_signed(sampler_.gaussian(n));
+    e1.to_eval();
+
+    // Restrict the public key to the ciphertext's limbs.
+    Ciphertext ct;
+    ct.c0 = RnsPoly::ct(ring, limbs, Domain::Eval);
+    ct.c1 = RnsPoly::ct(ring, limbs, Domain::Eval);
+    for (std::size_t k = 0; k < limbs; ++k) {
+        const Barrett64 &br = ring->barrett(k);
+        u64 q = ring->prime(k);
+        const u64 *bv = pk_.b.limb(k);
+        const u64 *av = pk_.a.limb(k);
+        const u64 *uv = u.limb(k);
+        const u64 *m = pt.poly.limb(k);
+        u64 *c0 = ct.c0.limb(k);
+        u64 *c1 = ct.c1.limb(k);
+        const u64 *ev0 = e0.limb(k);
+        const u64 *ev1 = e1.limb(k);
+        for (std::size_t t = 0; t < n; ++t) {
+            c0[t] = add_mod(add_mod(br.mul(bv[t], uv[t]), ev0[t], q),
+                            m[t], q);
+            c1[t] = add_mod(br.mul(av[t], uv[t]), ev1[t], q);
+        }
+    }
+    ct.scale = pt.scale;
+    return ct;
+}
+
+Ciphertext
+CkksEncryptor::encrypt_symmetric(const Plaintext &pt, const SecretKey &sk)
+{
+    POSEIDON_REQUIRE(pt.poly.domain() == Domain::Eval,
+                     "encrypt_symmetric: plaintext must be in Eval domain");
+    std::size_t limbs = pt.num_limbs();
+    std::size_t n = ctx_->degree();
+    const auto &ring = ctx_->ring();
+
+    RnsPoly e(ring, [&] {
+        std::vector<std::size_t> idx(limbs);
+        for (std::size_t i = 0; i < limbs; ++i) idx[i] = i;
+        return idx;
+    }(), Domain::Coeff);
+    e.assign_signed(sampler_.gaussian(n));
+    e.to_eval();
+
+    Ciphertext ct;
+    ct.c0 = RnsPoly::ct(ring, limbs, Domain::Eval);
+    ct.c1 = RnsPoly::ct(ring, limbs, Domain::Eval);
+    for (std::size_t k = 0; k < limbs; ++k) {
+        u64 q = ring->prime(k);
+        const Barrett64 &br = ring->barrett(k);
+        const u64 *sv = sk.s.limb(k);
+        const u64 *m = pt.poly.limb(k);
+        const u64 *ev = e.limb(k);
+        u64 *c0 = ct.c0.limb(k);
+        u64 *c1 = ct.c1.limb(k);
+        for (std::size_t t = 0; t < n; ++t) {
+            c1[t] = sampler_.prng().uniform(q);
+            c0[t] = add_mod(add_mod(neg_mod(br.mul(c1[t], sv[t]), q),
+                                    ev[t], q),
+                            m[t], q);
+        }
+    }
+    ct.scale = pt.scale;
+    return ct;
+}
+
+CkksDecryptor::CkksDecryptor(CkksContextPtr ctx, SecretKey sk)
+    : ctx_(std::move(ctx)), sk_(std::move(sk))
+{}
+
+Plaintext
+CkksDecryptor::decrypt(const Ciphertext &ct) const
+{
+    POSEIDON_REQUIRE(ct.c0.domain() == Domain::Eval &&
+                     ct.c1.domain() == Domain::Eval,
+                     "decrypt: ciphertext must be in Eval domain");
+    std::size_t limbs = ct.num_limbs();
+    std::size_t n = ctx_->degree();
+    const auto &ring = ctx_->ring();
+
+    Plaintext pt;
+    pt.poly = RnsPoly::ct(ring, limbs, Domain::Eval);
+    for (std::size_t k = 0; k < limbs; ++k) {
+        const Barrett64 &br = ring->barrett(k);
+        u64 q = ring->prime(k);
+        const u64 *c0 = ct.c0.limb(k);
+        const u64 *c1 = ct.c1.limb(k);
+        const u64 *sv = sk_.s.limb(k); // identity prime mapping
+        u64 *m = pt.poly.limb(k);
+        for (std::size_t t = 0; t < n; ++t) {
+            m[t] = add_mod(c0[t], br.mul(c1[t], sv[t]), q);
+        }
+    }
+    pt.scale = ct.scale;
+    return pt;
+}
+
+} // namespace poseidon

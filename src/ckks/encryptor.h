@@ -1,0 +1,53 @@
+#ifndef POSEIDON_CKKS_ENCRYPTOR_H_
+#define POSEIDON_CKKS_ENCRYPTOR_H_
+
+/**
+ * @file
+ * Public-key encryption and secret-key decryption.
+ */
+
+#include "ckks/ciphertext.h"
+#include "ckks/keys.h"
+
+namespace poseidon {
+
+/// Encrypts plaintexts under a public key.
+class CkksEncryptor
+{
+  public:
+    CkksEncryptor(CkksContextPtr ctx, PublicKey pk, u64 seed = 7);
+
+    /// RLWE public-key encryption: ct = (b*u + e0 + m, a*u + e1).
+    Ciphertext encrypt(const Plaintext &pt);
+
+    /**
+     * Symmetric (secret-key) encryption: ct = (-a*s + e + m, a) with
+     * fresh uniform a. Slightly less noise than public-key encryption;
+     * used when the data owner holds the secret anyway.
+     */
+    Ciphertext encrypt_symmetric(const Plaintext &pt,
+                                 const SecretKey &sk);
+
+  private:
+    CkksContextPtr ctx_;
+    PublicKey pk_;
+    Sampler sampler_;
+};
+
+/// Decrypts ciphertexts with the secret key.
+class CkksDecryptor
+{
+  public:
+    CkksDecryptor(CkksContextPtr ctx, SecretKey sk);
+
+    /// m = c0 + c1 * s, carried at the ciphertext's scale.
+    Plaintext decrypt(const Ciphertext &ct) const;
+
+  private:
+    CkksContextPtr ctx_;
+    SecretKey sk_;
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_CKKS_ENCRYPTOR_H_

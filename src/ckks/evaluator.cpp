@@ -1,0 +1,551 @@
+#include "ckks/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "poly/automorphism.h"
+
+namespace poseidon {
+
+namespace {
+
+/// Relative tolerance when two scales must match.
+constexpr double kScaleTol = 1e-6;
+
+bool
+scales_close(double a, double b)
+{
+    return std::abs(a - b) <= kScaleTol * std::max(std::abs(a),
+                                                   std::abs(b));
+}
+
+} // namespace
+
+CkksEvaluator::CkksEvaluator(CkksContextPtr ctx)
+    : ctx_(std::move(ctx))
+{}
+
+void
+CkksEvaluator::check_same_shape(const Ciphertext &a,
+                                const Ciphertext &b) const
+{
+    POSEIDON_REQUIRE(a.num_limbs() == b.num_limbs(),
+                     "evaluator: operands at different levels");
+    POSEIDON_REQUIRE(scales_close(a.scale, b.scale),
+                     "evaluator: operands at different scales");
+}
+
+Ciphertext
+CkksEvaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    Ciphertext out = a;
+    add_inplace(out, b);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    Ciphertext out = a;
+    sub_inplace(out, b);
+    return out;
+}
+
+void
+CkksEvaluator::add_inplace(Ciphertext &a, const Ciphertext &b) const
+{
+    check_same_shape(a, b);
+    a.c0.add_inplace(b.c0);
+    a.c1.add_inplace(b.c1);
+}
+
+void
+CkksEvaluator::sub_inplace(Ciphertext &a, const Ciphertext &b) const
+{
+    check_same_shape(a, b);
+    a.c0.sub_inplace(b.c0);
+    a.c1.sub_inplace(b.c1);
+}
+
+Ciphertext
+CkksEvaluator::negate(const Ciphertext &a) const
+{
+    Ciphertext out = a;
+    out.c0.negate_inplace();
+    out.c1.negate_inplace();
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::add_plain(const Ciphertext &a, const Plaintext &p) const
+{
+    POSEIDON_REQUIRE(a.num_limbs() == p.num_limbs(),
+                     "add_plain: level mismatch");
+    POSEIDON_REQUIRE(scales_close(a.scale, p.scale),
+                     "add_plain: scale mismatch");
+    Ciphertext out = a;
+    out.c0.add_inplace(p.poly);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::sub_plain(const Ciphertext &a, const Plaintext &p) const
+{
+    POSEIDON_REQUIRE(a.num_limbs() == p.num_limbs(),
+                     "sub_plain: level mismatch");
+    POSEIDON_REQUIRE(scales_close(a.scale, p.scale),
+                     "sub_plain: scale mismatch");
+    Ciphertext out = a;
+    out.c0.sub_inplace(p.poly);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::mul_plain(const Ciphertext &a, const Plaintext &p) const
+{
+    POSEIDON_REQUIRE(a.num_limbs() == p.num_limbs(),
+                     "mul_plain: level mismatch");
+    Ciphertext out = a;
+    out.c0.mul_inplace(p.poly);
+    out.c1.mul_inplace(p.poly);
+    out.scale = a.scale * p.scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::mul_scalar(const Ciphertext &a, double value,
+                          double scale) const
+{
+    if (scale <= 0.0) scale = ctx_->params().scale();
+    i64 scaled = static_cast<i64>(std::llround(value * scale));
+    Ciphertext out = a;
+    std::vector<u64> s(a.num_limbs());
+    for (std::size_t k = 0; k < a.num_limbs(); ++k) {
+        u64 q = a.c0.prime(k);
+        if (scaled >= 0) {
+            s[k] = static_cast<u64>(scaled) % q;
+        } else {
+            u64 m = static_cast<u64>(-(scaled + 1)) + 1;
+            u64 r = m % q;
+            s[k] = r == 0 ? 0 : q - r;
+        }
+    }
+    out.c0.mul_scalar_inplace(s);
+    out.c1.mul_scalar_inplace(s);
+    out.scale = a.scale * scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::mul_integer(const Ciphertext &a, i64 value) const
+{
+    Ciphertext out = a;
+    std::vector<u64> s(a.num_limbs());
+    for (std::size_t k = 0; k < a.num_limbs(); ++k) {
+        u64 q = a.c0.prime(k);
+        if (value >= 0) {
+            s[k] = static_cast<u64>(value) % q;
+        } else {
+            u64 m = static_cast<u64>(-(value + 1)) + 1;
+            u64 r = m % q;
+            s[k] = r == 0 ? 0 : q - r;
+        }
+    }
+    out.c0.mul_scalar_inplace(s);
+    out.c1.mul_scalar_inplace(s);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::mul(const Ciphertext &a, const Ciphertext &b,
+                   const KSwitchKey &relinKey) const
+{
+    POSEIDON_REQUIRE(a.num_limbs() == b.num_limbs(),
+                     "mul: level mismatch");
+    std::size_t n = ctx_->degree();
+    const auto &ring = ctx_->ring();
+    std::size_t limbs = a.num_limbs();
+
+    // Tensor: d0 = a0*b0, d1 = a0*b1 + a1*b0, d2 = a1*b1.
+    RnsPoly d0 = a.c0;
+    d0.mul_inplace(b.c0);
+    RnsPoly d2 = a.c1;
+    d2.mul_inplace(b.c1);
+
+    RnsPoly d1 = RnsPoly::ct(ring, limbs, Domain::Eval);
+    for (std::size_t k = 0; k < limbs; ++k) {
+        const Barrett64 &br = ring->barrett(k);
+        u64 q = ring->prime(k);
+        const u64 *a0 = a.c0.limb(k), *a1 = a.c1.limb(k);
+        const u64 *b0 = b.c0.limb(k), *b1 = b.c1.limb(k);
+        u64 *d = d1.limb(k);
+        for (std::size_t t = 0; t < n; ++t) {
+            d[t] = add_mod(br.mul(a0[t], b1[t]), br.mul(a1[t], b0[t]), q);
+        }
+    }
+
+    // Relinearize d2 back onto (c0, c1).
+    auto [u0, u1] = keyswitch_core(d2, relinKey);
+    d0.add_inplace(u0);
+    d1.add_inplace(u1);
+
+    Ciphertext out;
+    out.c0 = std::move(d0);
+    out.c1 = std::move(d1);
+    out.scale = a.scale * b.scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::square(const Ciphertext &a, const KSwitchKey &relinKey) const
+{
+    return mul(a, a, relinKey);
+}
+
+std::vector<std::size_t>
+CkksEvaluator::extended_indices(std::size_t limbs) const
+{
+    std::size_t L = ctx_->params().L;
+    std::size_t K = ctx_->params().K;
+    std::vector<std::size_t> extIdx;
+    extIdx.reserve(limbs + K);
+    for (std::size_t i = 0; i < limbs; ++i) extIdx.push_back(i);
+    for (std::size_t j = 0; j < K; ++j) extIdx.push_back(L + j);
+    return extIdx;
+}
+
+std::vector<std::vector<std::vector<u64>>>
+CkksEvaluator::decompose_digits_eval(
+    const RnsPoly &dCoeff, const std::vector<std::size_t> &extIdx) const
+{
+    POSEIDON_REQUIRE(dCoeff.domain() == Domain::Coeff,
+                     "decompose_digits_eval: coeff domain required");
+    const auto &ring = ctx_->ring();
+    std::size_t n = ctx_->degree();
+    std::size_t limbs = dCoeff.num_limbs();
+    std::size_t alpha = ctx_->alpha();
+    std::size_t numDigits = ctx_->num_digits(limbs);
+
+    std::vector<std::vector<std::vector<u64>>> out(numDigits);
+    std::vector<std::vector<u64>> convOut;
+    std::vector<u64*> convPtr;
+
+    for (std::size_t j = 0; j < numDigits; ++j) {
+        std::size_t start = j * alpha;
+        std::size_t len = std::min(alpha, limbs - start);
+        const u64 *digit = dCoeff.limb(start);
+
+        if (len > 1) {
+            const RnsConv &conv = ctx_->digit_conv(limbs, j);
+            std::size_t total = ring->num_primes();
+            if (convOut.size() != total) {
+                convOut.assign(total, std::vector<u64>(n));
+                convPtr.resize(total);
+                for (std::size_t i = 0; i < total; ++i) {
+                    convPtr[i] = convOut[i].data();
+                }
+            }
+            std::vector<const u64*> src(len);
+            for (std::size_t k = 0; k < len; ++k) {
+                src[k] = dCoeff.limb(start + k);
+            }
+            conv.convert(src, convPtr, n, /*correct=*/true);
+        }
+
+        out[j].resize(extIdx.size());
+        for (std::size_t m = 0; m < extIdx.size(); ++m) {
+            std::size_t pidx = extIdx[m];
+            u64 qm = ring->prime(pidx);
+            const Barrett64 &brm = ring->barrett(pidx);
+            std::vector<u64> &buf = out[j][m];
+            buf.resize(n);
+            if (len > 1) {
+                std::copy(convOut[pidx].begin(), convOut[pidx].end(),
+                          buf.begin());
+            } else if (pidx == start) {
+                std::copy(digit, digit + n, buf.begin());
+            } else {
+                for (std::size_t t = 0; t < n; ++t) {
+                    buf[t] = digit[t] < qm ? digit[t]
+                                           : brm.reduce(digit[t]);
+                }
+            }
+            ring->table(pidx).forward(buf.data());
+        }
+    }
+    return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::mod_down_pair(RnsPoly &&acc0, RnsPoly &&acc1,
+                             std::size_t limbs) const
+{
+    const auto &ring = ctx_->ring();
+    std::size_t n = ctx_->degree();
+    std::size_t K = ctx_->params().K;
+    const ModDown &md = ctx_->mod_down(limbs);
+    acc0.to_coeff();
+    acc1.to_coeff();
+
+    auto run_moddown = [&](RnsPoly &acc) {
+        RnsPoly out = RnsPoly::ct(ring, limbs, Domain::Coeff);
+        std::vector<const u64*> xq(limbs), xp(K);
+        std::vector<u64*> o(limbs);
+        for (std::size_t iq = 0; iq < limbs; ++iq) {
+            xq[iq] = acc.limb(iq);
+            o[iq] = out.limb(iq);
+        }
+        for (std::size_t jp = 0; jp < K; ++jp) {
+            xp[jp] = acc.limb(limbs + jp);
+        }
+        md.apply(xq, xp, o, n);
+        out.to_eval();
+        return out;
+    };
+
+    return {run_moddown(acc0), run_moddown(acc1)};
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keyswitch_core(const RnsPoly &d, const KSwitchKey &key) const
+{
+    POSEIDON_REQUIRE(d.domain() == Domain::Eval,
+                     "keyswitch_core: input must be in Eval domain");
+    const auto &ring = ctx_->ring();
+    std::size_t n = ctx_->degree();
+    std::size_t limbs = d.num_limbs();
+    std::size_t numDigits = ctx_->num_digits(limbs);
+    POSEIDON_REQUIRE(key.pieces.size() >= numDigits,
+                     "keyswitch_core: malformed switching key");
+
+    std::vector<std::size_t> extIdx = extended_indices(limbs);
+
+    RnsPoly dc = d;
+    dc.to_coeff();
+    auto digits = decompose_digits_eval(dc, extIdx);
+
+    RnsPoly acc0(ring, extIdx, Domain::Eval);
+    RnsPoly acc1(ring, extIdx, Domain::Eval);
+    for (std::size_t j = 0; j < numDigits; ++j) {
+        const KSwitchKey::Piece &piece = key.pieces[j];
+        for (std::size_t m = 0; m < extIdx.size(); ++m) {
+            std::size_t pidx = extIdx[m];
+            u64 qm = ring->prime(pidx);
+            const Barrett64 &brm = ring->barrett(pidx);
+            const u64 *dg = digits[j][m].data();
+            const u64 *kb = piece.b.limb(pidx);
+            const u64 *ka = piece.a.limb(pidx);
+            u64 *o0 = acc0.limb(m);
+            u64 *o1 = acc1.limb(m);
+            for (std::size_t t = 0; t < n; ++t) {
+                o0[t] = add_mod(o0[t], brm.mul(dg[t], kb[t]), qm);
+                o1[t] = add_mod(o1[t], brm.mul(dg[t], ka[t]), qm);
+            }
+        }
+    }
+    return mod_down_pair(std::move(acc0), std::move(acc1), limbs);
+}
+void
+CkksEvaluator::rescale_poly(RnsPoly &p) const
+{
+    const auto &ring = ctx_->ring();
+    std::size_t n = ctx_->degree();
+    std::size_t last = p.num_limbs() - 1;
+    u64 ql = p.prime(last);
+    u64 qlHalf = ql >> 1;
+
+    // Bring the dropped limb to coefficient domain (it arrives in Eval).
+    std::vector<u64> cl(p.limb(last), p.limb(last) + n);
+    ring->table(p.prime_index(last)).inverse(cl.data());
+    for (auto &v : cl) v = add_mod(v, qlHalf, ql);
+
+    std::vector<u64> buf(n);
+    for (std::size_t j = 0; j < last; ++j) {
+        u64 qj = p.prime(j);
+        const Barrett64 &br = ring->barrett(p.prime_index(j));
+        u64 halfModQj = qlHalf % qj;
+        for (std::size_t t = 0; t < n; ++t) {
+            u64 r = cl[t] < qj ? cl[t] : br.reduce(cl[t]);
+            buf[t] = sub_mod(r, halfModQj, qj);
+        }
+        ring->table(p.prime_index(j)).forward(buf.data());
+        u64 qlInv = inv_mod(ql % qj, qj);
+        ShoupMul mulInv(qlInv, qj);
+        u64 *limb = p.limb(j);
+        for (std::size_t t = 0; t < n; ++t) {
+            limb[t] = mulInv.mul(sub_mod(limb[t], buf[t], qj));
+        }
+    }
+    p.drop_last_limb();
+}
+
+void
+CkksEvaluator::rescale_inplace(Ciphertext &a) const
+{
+    POSEIDON_REQUIRE(a.num_limbs() >= 2,
+                     "rescale: no modulus left to drop");
+    u64 ql = a.c0.prime(a.num_limbs() - 1);
+    rescale_poly(a.c0);
+    rescale_poly(a.c1);
+    a.scale /= static_cast<double>(ql);
+}
+
+Ciphertext
+CkksEvaluator::rescale(const Ciphertext &a) const
+{
+    Ciphertext out = a;
+    rescale_inplace(out);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::adjust_scale(const Ciphertext &a, double targetScale) const
+{
+    POSEIDON_REQUIRE(a.num_limbs() >= 2,
+                     "adjust_scale: needs a level to spend");
+    POSEIDON_REQUIRE(targetScale > 0, "adjust_scale: bad target scale");
+    u64 q = a.c0.prime(a.num_limbs() - 1);
+    double e = targetScale * static_cast<double>(q) / a.scale;
+    POSEIDON_REQUIRE(e >= 1.0,
+                     "adjust_scale: target too small for this level");
+    Ciphertext out = mul_scalar(a, 1.0, e);
+    rescale_inplace(out);
+    // Kill floating-point drift: the scale is targetScale by
+    // construction (up to the integer rounding of e, already absorbed
+    // into the ciphertext noise).
+    out.scale = targetScale;
+    return out;
+}
+
+void
+CkksEvaluator::equalize_inplace(Ciphertext &a, Ciphertext &b) const
+{
+    std::size_t limbs = std::min(a.num_limbs(), b.num_limbs());
+    POSEIDON_REQUIRE(limbs >= 2, "equalize: needs a level to spend");
+    drop_to_limbs_inplace(a, limbs);
+    drop_to_limbs_inplace(b, limbs);
+    double target = std::min(a.scale, b.scale);
+    a = adjust_scale(a, target);
+    b = adjust_scale(b, target);
+}
+
+void
+CkksEvaluator::drop_to_limbs_inplace(Ciphertext &a, std::size_t limbs) const
+{
+    POSEIDON_REQUIRE(limbs >= 1 && limbs <= a.num_limbs(),
+                     "drop_to_limbs: bad target");
+    while (a.num_limbs() > limbs) {
+        a.c0.drop_last_limb();
+        a.c1.drop_last_limb();
+    }
+}
+
+void
+CkksEvaluator::drop_to_limbs_inplace(Plaintext &p, std::size_t limbs) const
+{
+    POSEIDON_REQUIRE(limbs >= 1 && limbs <= p.num_limbs(),
+                     "drop_to_limbs: bad target");
+    while (p.num_limbs() > limbs) p.poly.drop_last_limb();
+}
+
+Ciphertext
+CkksEvaluator::apply_galois(const Ciphertext &a, u64 galois,
+                            const KSwitchKey &key) const
+{
+    // tau_g on both components (Eval-domain permutation), then switch
+    // tau_g(c1)'s key tau_g(s) back to s.
+    RnsPoly c0g = automorphism(a.c0, galois);
+    RnsPoly c1g = automorphism(a.c1, galois);
+
+    auto [u0, u1] = keyswitch_core(c1g, key);
+    c0g.add_inplace(u0);
+
+    Ciphertext out;
+    out.c0 = std::move(c0g);
+    out.c1 = std::move(u1);
+    out.scale = a.scale;
+    return out;
+}
+
+std::vector<Ciphertext>
+CkksEvaluator::rotate_hoisted(const Ciphertext &a,
+                              const std::vector<long> &steps,
+                              const GaloisKeys &keys) const
+{
+    const auto &ring = ctx_->ring();
+    std::size_t n = ctx_->degree();
+    std::size_t limbs = a.num_limbs();
+    std::size_t numDigits = ctx_->num_digits(limbs);
+    std::vector<std::size_t> extIdx = extended_indices(limbs);
+
+    // Hoist: decompose c1 once; digits of tau_g(c1) are tau_g of the
+    // digits, which in the evaluation domain is a permutation.
+    RnsPoly dc = a.c1;
+    dc.to_coeff();
+    auto digits = decompose_digits_eval(dc, extIdx);
+
+    std::vector<Ciphertext> out;
+    out.reserve(steps.size());
+    std::vector<u64> tmp(n);
+    for (long step : steps) {
+        u64 g = galois_element_for_step(n, step);
+        if (g == 1) {
+            out.push_back(a);
+            continue;
+        }
+        const KSwitchKey &key = keys.get(g);
+        POSEIDON_REQUIRE(key.pieces.size() >= numDigits,
+                         "rotate_hoisted: malformed switching key");
+        std::vector<u32> perm = make_eval_permutation(n, g);
+
+        RnsPoly acc0(ring, extIdx, Domain::Eval);
+        RnsPoly acc1(ring, extIdx, Domain::Eval);
+        for (std::size_t j = 0; j < numDigits; ++j) {
+            const KSwitchKey::Piece &piece = key.pieces[j];
+            for (std::size_t m = 0; m < extIdx.size(); ++m) {
+                std::size_t pidx = extIdx[m];
+                u64 qm = ring->prime(pidx);
+                const Barrett64 &brm = ring->barrett(pidx);
+                automorphism_eval_limb(digits[j][m].data(), tmp.data(),
+                                       n, perm);
+                const u64 *kb = piece.b.limb(pidx);
+                const u64 *ka = piece.a.limb(pidx);
+                u64 *o0 = acc0.limb(m);
+                u64 *o1 = acc1.limb(m);
+                for (std::size_t t = 0; t < n; ++t) {
+                    o0[t] = add_mod(o0[t], brm.mul(tmp[t], kb[t]), qm);
+                    o1[t] = add_mod(o1[t], brm.mul(tmp[t], ka[t]), qm);
+                }
+            }
+        }
+        auto [u0, u1] =
+            mod_down_pair(std::move(acc0), std::move(acc1), limbs);
+
+        Ciphertext r;
+        r.c0 = automorphism(a.c0, g);
+        r.c0.add_inplace(u0);
+        r.c1 = std::move(u1);
+        r.scale = a.scale;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::rotate(const Ciphertext &a, long steps,
+                      const GaloisKeys &keys) const
+{
+    u64 g = galois_element_for_step(ctx_->degree(), steps);
+    if (g == 1) return a;
+    return apply_galois(a, g, keys.get(g));
+}
+
+Ciphertext
+CkksEvaluator::conjugate(const Ciphertext &a, const GaloisKeys &keys) const
+{
+    u64 g = galois_element_conjugate(ctx_->degree());
+    return apply_galois(a, g, keys.get(g));
+}
+
+} // namespace poseidon

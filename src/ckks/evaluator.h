@@ -1,0 +1,139 @@
+#ifndef POSEIDON_CKKS_EVALUATOR_H_
+#define POSEIDON_CKKS_EVALUATOR_H_
+
+/**
+ * @file
+ * The CKKS evaluator: every basic operation of the paper's Section II.
+ *
+ * HAdd, PMult, CMult(+relinearization), Rescale, Keyswitch
+ * (ModUp/RNSconv/ModDown), Rotation and conjugation. Each operation is
+ * exactly the composition of the five Poseidon operators (MA, MM,
+ * NTT/INTT, Automorphism, SBT); the isa/ module mirrors this
+ * decomposition for the hardware model.
+ */
+
+#include <utility>
+
+#include "ckks/ciphertext.h"
+#include "ckks/keys.h"
+
+namespace poseidon {
+
+/// Homomorphic-operation engine for one context.
+class CkksEvaluator
+{
+  public:
+    explicit CkksEvaluator(CkksContextPtr ctx);
+
+    const CkksContextPtr& context() const { return ctx_; }
+
+    // ---- HAdd ----
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+    void add_inplace(Ciphertext &a, const Ciphertext &b) const;
+    void sub_inplace(Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext negate(const Ciphertext &a) const;
+    Ciphertext add_plain(const Ciphertext &a, const Plaintext &p) const;
+    Ciphertext sub_plain(const Ciphertext &a, const Plaintext &p) const;
+
+    // ---- PMult ----
+    /// Ciphertext-plaintext multiply; scales multiply (rescale after).
+    Ciphertext mul_plain(const Ciphertext &a, const Plaintext &p) const;
+
+    /**
+     * Multiply by the scalar `value` encoded at `scale` (default: the
+     * context scale): each limb is multiplied by round(value*scale)
+     * mod q. Only the MM operator is exercised — no encoding FFT.
+     */
+    Ciphertext mul_scalar(const Ciphertext &a, double value,
+                          double scale = -1.0) const;
+
+    /// Multiply by a small signed integer without changing the scale.
+    Ciphertext mul_integer(const Ciphertext &a, i64 value) const;
+
+    // ---- CMult with relinearization ----
+    Ciphertext mul(const Ciphertext &a, const Ciphertext &b,
+                   const KSwitchKey &relinKey) const;
+    Ciphertext square(const Ciphertext &a,
+                      const KSwitchKey &relinKey) const;
+
+    // ---- Rescale ----
+    void rescale_inplace(Ciphertext &a) const;
+    Ciphertext rescale(const Ciphertext &a) const;
+
+    /**
+     * Bring `a` to exactly `targetScale` by multiplying with 1.0
+     * encoded at scale targetScale * q_last / a.scale and rescaling
+     * (costs one level). Lets operands from different rescale paths
+     * be added together.
+     */
+    Ciphertext adjust_scale(const Ciphertext &a, double targetScale) const;
+
+    /// Equalize two operands' levels and scales (each may lose one
+    /// level), so that add/sub between them is valid.
+    void equalize_inplace(Ciphertext &a, Ciphertext &b) const;
+
+    /// Drop limbs to `limbs` primes without rounding (mod switch).
+    void drop_to_limbs_inplace(Ciphertext &a, std::size_t limbs) const;
+
+    /// Drop limbs of a plaintext to match a ciphertext.
+    void drop_to_limbs_inplace(Plaintext &p, std::size_t limbs) const;
+
+    // ---- Rotation / conjugation ----
+    Ciphertext rotate(const Ciphertext &a, long steps,
+                      const GaloisKeys &keys) const;
+
+    /**
+     * Hoisted multi-rotation (Halevi-Shoup): the expensive ModUp digit
+     * decomposition of c1 runs once and is shared by every requested
+     * rotation; each extra rotation costs only an evaluation-domain
+     * permutation, the key inner product and a ModDown. Bit-exact with
+     * calling rotate() per step. `keys` must hold a key for every
+     * nonzero step.
+     */
+    std::vector<Ciphertext>
+    rotate_hoisted(const Ciphertext &a, const std::vector<long> &steps,
+                   const GaloisKeys &keys) const;
+    Ciphertext conjugate(const Ciphertext &a, const GaloisKeys &keys) const;
+
+    /// Apply tau_g followed by a keyswitch back to s.
+    Ciphertext apply_galois(const Ciphertext &a, u64 galois,
+                            const KSwitchKey &key) const;
+
+    // ---- Keyswitch core (exposed for bootstrapping / ISA tracing) ----
+    /**
+     * Switch the key under `d` (an Eval-domain polynomial currently
+     * multiplied by some s') back to s: returns (u0, u1) such that
+     * u0 + u1*s ~ d*s'. This is ModUp -> inner products -> ModDown,
+     * i.e. the paper's Keyswitch pipeline.
+     */
+    std::pair<RnsPoly, RnsPoly>
+    keyswitch_core(const RnsPoly &d, const KSwitchKey &key) const;
+
+  private:
+    void check_same_shape(const Ciphertext &a, const Ciphertext &b) const;
+    void rescale_poly(RnsPoly &p) const;
+
+    /// Extended prime indices {0..limbs-1} + all special primes.
+    std::vector<std::size_t> extended_indices(std::size_t limbs) const;
+
+    /**
+     * ModUp digit decomposition of a coefficient-domain polynomial:
+     * result[j][m] holds digit j broadcast into extended prime m, in
+     * evaluation domain. Memory: digits * ext * N words.
+     */
+    std::vector<std::vector<std::vector<u64>>>
+    decompose_digits_eval(const RnsPoly &dCoeff,
+                          const std::vector<std::size_t> &extIdx) const;
+
+    /// ModDown both keyswitch accumulators back to the q-basis.
+    std::pair<RnsPoly, RnsPoly>
+    mod_down_pair(RnsPoly &&acc0, RnsPoly &&acc1,
+                  std::size_t limbs) const;
+
+    CkksContextPtr ctx_;
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_CKKS_EVALUATOR_H_

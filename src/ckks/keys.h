@@ -1,0 +1,109 @@
+#ifndef POSEIDON_CKKS_KEYS_H_
+#define POSEIDON_CKKS_KEYS_H_
+
+/**
+ * @file
+ * CKKS key material and the key generator.
+ *
+ * Keyswitching uses the RNS digit decomposition (one digit per
+ * ciphertext prime) with a special-prime product P — the scheme
+ * Poseidon accelerates with its ModUp/ModDown/RNSconv operator
+ * pipeline. A switching key from s' to s has one piece per digit:
+ *
+ *   piece_i = ( b_i, a_i ),  b_i = -a_i*s + e_i  over R_{PQ},
+ *   with P*[s']_{q_i} added into the q_i limb of b_i.
+ *
+ * Relinearization keys take s' = s^2; Galois keys take s' = tau_g(s).
+ */
+
+#include <map>
+#include <vector>
+
+#include "ckks/params.h"
+#include "common/prng.h"
+#include "poly/poly.h"
+
+namespace poseidon {
+
+/// The RLWE secret, stored in Eval domain over the full prime chain.
+struct SecretKey
+{
+    RnsPoly s;
+};
+
+/// Encryption key (b, a) = (-a*s + e, a) over the ciphertext primes.
+struct PublicKey
+{
+    RnsPoly b;
+    RnsPoly a;
+};
+
+/// One switching key: `pieces[i]` handles the i-th RNS digit.
+struct KSwitchKey
+{
+    struct Piece
+    {
+        RnsPoly b;
+        RnsPoly a;
+    };
+    std::vector<Piece> pieces;
+
+    bool empty() const { return pieces.empty(); }
+};
+
+/// A set of Galois keys indexed by galois element.
+struct GaloisKeys
+{
+    std::map<u64, KSwitchKey> keys;
+
+    bool has(u64 galois) const { return keys.count(galois) != 0; }
+
+    const KSwitchKey& get(u64 galois) const;
+};
+
+/// Generates all key material from a seeded sampler.
+class KeyGenerator
+{
+  public:
+    /**
+     * Draws the secret immediately. The secret is ternary with
+     * hamming weight h = min(N/2, 64) (sparse secrets keep
+     * bootstrapping's EvalMod range small, as in HEAAN).
+     */
+    explicit KeyGenerator(CkksContextPtr ctx);
+
+    const SecretKey& secret_key() const { return sk_; }
+
+    /// Fresh public encryption key.
+    PublicKey make_public_key();
+
+    /// Relinearization key (s^2 -> s).
+    KSwitchKey make_relin_key();
+
+    /// Galois key for one element (tau_g(s) -> s).
+    KSwitchKey make_galois_key(u64 galois);
+
+    /// Galois keys for a set of rotation steps (and optionally conj).
+    GaloisKeys make_galois_keys(const std::vector<long> &steps,
+                                bool includeConjugate = false);
+
+    /**
+     * Generic switching key from `newKey` (given in Eval domain over
+     * the full prime chain) to the generator's secret. Public so the
+     * bootstrapper and tests can build custom keys.
+     */
+    KSwitchKey make_kswitch_key(const RnsPoly &newKeyEval);
+
+  private:
+    /// (b, a) = (-a*s + e, a) over the given context prime indices.
+    KSwitchKey::Piece encrypt_zero(const std::vector<std::size_t> &idx);
+
+    CkksContextPtr ctx_;
+    Sampler sampler_;
+    SecretKey sk_;
+    std::vector<std::size_t> allIdx_; ///< every prime index in the chain
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_CKKS_KEYS_H_

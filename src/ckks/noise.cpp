@@ -1,0 +1,66 @@
+#include "ckks/noise.h"
+
+#include <cmath>
+
+#include "ckks/encryptor.h"
+#include "common/logging.h"
+
+namespace poseidon {
+
+NoiseInspector::NoiseInspector(CkksContextPtr ctx, SecretKey sk)
+    : ctx_(std::move(ctx)), sk_(std::move(sk))
+{}
+
+double
+NoiseInspector::noise_bits(const Ciphertext &ct,
+                           const std::vector<cdouble> &expected,
+                           const CkksEncoder &encoder) const
+{
+    CkksDecryptor dec(ctx_, sk_);
+    Plaintext actual = dec.decrypt(ct);
+    Plaintext exact = encoder.encode(expected, ct.num_limbs(), ct.scale);
+
+    RnsPoly d = actual.poly;
+    d.sub_inplace(exact.poly);
+    d.to_coeff();
+
+    const RnsBasis &basis = ctx_->ring()->ct_basis(ct.num_limbs());
+    std::size_t n = ctx_->degree();
+    std::vector<u64> res(ct.num_limbs());
+    double maxAbs = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t k = 0; k < ct.num_limbs(); ++k) {
+            res[k] = d.limb(k)[t];
+        }
+        maxAbs = std::max(maxAbs,
+                          std::abs(basis.compose_centered_double(
+                              res.data())));
+    }
+    return maxAbs <= 0.0 ? -1e9 : std::log2(maxAbs);
+}
+
+double
+NoiseInspector::capacity_bits(const Ciphertext &ct) const
+{
+    double bits = -1.0; // Q/2
+    for (std::size_t k = 0; k < ct.num_limbs(); ++k) {
+        bits += std::log2(static_cast<double>(ct.c0.prime(k)));
+    }
+    return bits;
+}
+
+double
+NoiseInspector::budget_bits(const Ciphertext &ct,
+                            const std::vector<cdouble> &expected,
+                            const CkksEncoder &encoder) const
+{
+    (void)encoder;
+    double maxMag = 1e-300;
+    for (const auto &v : expected) {
+        maxMag = std::max(maxMag, std::abs(v));
+    }
+    return capacity_bits(ct) - std::log2(ct.scale) -
+           std::max(0.0, std::log2(maxMag));
+}
+
+} // namespace poseidon

@@ -1,0 +1,55 @@
+#ifndef POSEIDON_CKKS_NOISE_H_
+#define POSEIDON_CKKS_NOISE_H_
+
+/**
+ * @file
+ * Noise diagnostics: exact noise measurement against a known expected
+ * message, given the secret key. Development/testing tool — a
+ * production server never has the secret, but a library shipping FHE
+ * needs a way to validate parameter choices and noise budgets.
+ */
+
+#include "ckks/encoder.h"
+#include "ckks/keys.h"
+
+namespace poseidon {
+
+/// Measures ciphertext noise with secret-key access.
+class NoiseInspector
+{
+  public:
+    NoiseInspector(CkksContextPtr ctx, SecretKey sk);
+
+    /**
+     * log2 of the largest coefficient-domain error between the
+     * decryption of `ct` and the exact encoding of `expected` at the
+     * ciphertext's scale. Smaller is better; values approaching
+     * capacity_bits() mean imminent decryption failure.
+     */
+    double noise_bits(const Ciphertext &ct,
+                      const std::vector<cdouble> &expected,
+                      const CkksEncoder &encoder) const;
+
+    /**
+     * log2(Q_l / 2) for the ciphertext's current modulus — the
+     * ceiling any coefficient (message * scale + noise) must stay
+     * under.
+     */
+    double capacity_bits(const Ciphertext &ct) const;
+
+    /**
+     * Remaining headroom in bits: capacity - log2(scale) - log2(max
+     * |message|) is roughly how many more scale-multiplications fit.
+     */
+    double budget_bits(const Ciphertext &ct,
+                       const std::vector<cdouble> &expected,
+                       const CkksEncoder &encoder) const;
+
+  private:
+    CkksContextPtr ctx_;
+    SecretKey sk_;
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_CKKS_NOISE_H_

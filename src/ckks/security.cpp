@@ -1,0 +1,74 @@
+#include "ckks/security.h"
+
+namespace poseidon {
+
+unsigned
+max_log_pq(std::size_t degree, SecurityLevel level)
+{
+    // HE Standard (homomorphicencryption.org), ternary secret,
+    // classical cost model. N=65536/131072 rows follow the accepted
+    // doubling extrapolation used by major libraries.
+    struct Row
+    {
+        std::size_t n;
+        unsigned c128, c192, c256;
+    };
+    static const Row rows[] = {
+        {1024, 27, 19, 14},      {2048, 54, 37, 29},
+        {4096, 109, 75, 58},     {8192, 218, 152, 118},
+        {16384, 438, 305, 237},  {32768, 881, 611, 476},
+        {65536, 1772, 1228, 956}, {131072, 3544, 2456, 1912},
+    };
+    for (const auto &r : rows) {
+        if (r.n == degree) {
+            switch (level) {
+              case SecurityLevel::Classical128: return r.c128;
+              case SecurityLevel::Classical192: return r.c192;
+              case SecurityLevel::Classical256: return r.c256;
+              case SecurityLevel::None: return ~0u;
+            }
+        }
+    }
+    return 0;
+}
+
+double
+total_log_pq(const CkksParams &params)
+{
+    // Bit sizes are upper bounds on the generated primes, which sit
+    // just below 2^bits.
+    return static_cast<double>(params.firstPrimeBits) +
+           static_cast<double>(params.L - 1) * params.scaleBits +
+           static_cast<double>(params.K) * params.specialPrimeBits;
+}
+
+SecurityLevel
+estimate_security(const CkksParams &params)
+{
+    double logPQ = total_log_pq(params);
+    std::size_t n = params.degree();
+    if (logPQ <= max_log_pq(n, SecurityLevel::Classical256)) {
+        return SecurityLevel::Classical256;
+    }
+    if (logPQ <= max_log_pq(n, SecurityLevel::Classical192)) {
+        return SecurityLevel::Classical192;
+    }
+    if (logPQ <= max_log_pq(n, SecurityLevel::Classical128)) {
+        return SecurityLevel::Classical128;
+    }
+    return SecurityLevel::None;
+}
+
+const char*
+to_string(SecurityLevel level)
+{
+    switch (level) {
+      case SecurityLevel::None: return "insecure (demo/test only)";
+      case SecurityLevel::Classical128: return "128-bit classical";
+      case SecurityLevel::Classical192: return "192-bit classical";
+      case SecurityLevel::Classical256: return "256-bit classical";
+    }
+    return "?";
+}
+
+} // namespace poseidon

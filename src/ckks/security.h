@@ -1,0 +1,43 @@
+#ifndef POSEIDON_CKKS_SECURITY_H_
+#define POSEIDON_CKKS_SECURITY_H_
+
+/**
+ * @file
+ * Security estimation per the Homomorphic Encryption Standard tables
+ * (ternary secret, classical attacks): for each ring degree N there is
+ * a maximum total modulus size log2(PQ) at a given security level.
+ *
+ * Test and demo parameter sets in this repository deliberately violate
+ * these bounds (small N keeps tests fast); production deployments must
+ * check `estimate_security` >= their target.
+ */
+
+#include "ckks/params.h"
+
+namespace poseidon {
+
+/// Security levels of the HE standard tables.
+enum class SecurityLevel { None, Classical128, Classical192,
+                           Classical256 };
+
+/**
+ * Maximum log2 of the total ciphertext+special modulus for a ternary
+ * secret at the given level; 0 if the degree is outside the tables
+ * (N < 1024).
+ */
+unsigned max_log_pq(std::size_t degree, SecurityLevel level);
+
+/// Total log2(PQ) a parameter set actually uses (all chain primes).
+double total_log_pq(const CkksParams &params);
+
+/**
+ * The strongest standard level `params` satisfies (None if even
+ * 128-bit classical security fails).
+ */
+SecurityLevel estimate_security(const CkksParams &params);
+
+const char* to_string(SecurityLevel level);
+
+} // namespace poseidon
+
+#endif // POSEIDON_CKKS_SECURITY_H_

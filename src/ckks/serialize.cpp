@@ -1,0 +1,268 @@
+#include <cstring>
+#include "ckks/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace poseidon::io {
+
+namespace {
+
+constexpr u64 kMagicParams = 0x50534431u;  // "PSD1"
+constexpr u64 kMagicPoly = 0x50534432u;
+constexpr u64 kMagicCiphertext = 0x50534433u;
+constexpr u64 kMagicPlaintext = 0x50534434u;
+constexpr u64 kMagicSecret = 0x50534435u;
+constexpr u64 kMagicPublic = 0x50534436u;
+constexpr u64 kMagicKSwitch = 0x50534437u;
+constexpr u64 kMagicGalois = 0x50534438u;
+
+void
+put_u64(std::ostream &os, u64 v)
+{
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = (v >> (8 * i)) & 0xff;
+    os.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+u64
+get_u64(std::istream &is)
+{
+    unsigned char buf[8];
+    is.read(reinterpret_cast<char*>(buf), 8);
+    POSEIDON_REQUIRE(is.good(), "serialize: truncated stream");
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= u64(buf[i]) << (8 * i);
+    return v;
+}
+
+void
+put_double(std::ostream &os, double d)
+{
+    u64 bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    put_u64(os, bits);
+}
+
+double
+get_double(std::istream &is)
+{
+    u64 bits = get_u64(is);
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+void
+expect_magic(std::istream &is, u64 magic, const char *what)
+{
+    POSEIDON_REQUIRE(get_u64(is) == magic,
+                     std::string("serialize: bad magic for ") + what);
+}
+
+} // namespace
+
+void
+write_params(std::ostream &os, const CkksParams &p)
+{
+    put_u64(os, kMagicParams);
+    put_u64(os, p.logN);
+    put_u64(os, p.L);
+    put_u64(os, p.scaleBits);
+    put_u64(os, p.firstPrimeBits);
+    put_u64(os, p.specialPrimeBits);
+    put_u64(os, p.K);
+    put_u64(os, p.dnum);
+    put_u64(os, p.seed);
+}
+
+CkksParams
+read_params(std::istream &is)
+{
+    expect_magic(is, kMagicParams, "CkksParams");
+    CkksParams p;
+    p.logN = static_cast<unsigned>(get_u64(is));
+    p.L = get_u64(is);
+    p.scaleBits = static_cast<unsigned>(get_u64(is));
+    p.firstPrimeBits = static_cast<unsigned>(get_u64(is));
+    p.specialPrimeBits = static_cast<unsigned>(get_u64(is));
+    p.K = get_u64(is);
+    p.dnum = get_u64(is);
+    p.seed = get_u64(is);
+    return p;
+}
+
+void
+write_poly(std::ostream &os, const RnsPoly &p)
+{
+    put_u64(os, kMagicPoly);
+    put_u64(os, p.degree());
+    put_u64(os, p.num_limbs());
+    put_u64(os, p.domain() == Domain::Eval ? 1 : 0);
+    for (std::size_t k = 0; k < p.num_limbs(); ++k) {
+        put_u64(os, p.prime_index(k));
+        put_u64(os, p.prime(k)); // revalidated on load
+        const u64 *limb = p.limb(k);
+        for (std::size_t t = 0; t < p.degree(); ++t) put_u64(os, limb[t]);
+    }
+}
+
+RnsPoly
+read_poly(std::istream &is, const RingContextPtr &ring)
+{
+    expect_magic(is, kMagicPoly, "RnsPoly");
+    u64 n = get_u64(is);
+    POSEIDON_REQUIRE(n == ring->degree(),
+                     "read_poly: degree mismatch with context");
+    u64 limbs = get_u64(is);
+    Domain d = get_u64(is) ? Domain::Eval : Domain::Coeff;
+
+    std::vector<std::size_t> idx(limbs);
+    std::vector<std::vector<u64>> data(limbs);
+    for (u64 k = 0; k < limbs; ++k) {
+        idx[k] = get_u64(is);
+        POSEIDON_REQUIRE(idx[k] < ring->num_primes(),
+                         "read_poly: prime index out of range");
+        u64 prime = get_u64(is);
+        POSEIDON_REQUIRE(prime == ring->prime(idx[k]),
+                         "read_poly: prime chain mismatch — wrong "
+                         "context for this stream");
+        data[k].resize(n);
+        for (u64 t = 0; t < n; ++t) {
+            data[k][t] = get_u64(is);
+            POSEIDON_REQUIRE(data[k][t] < prime,
+                             "read_poly: residue out of range");
+        }
+    }
+    RnsPoly p(ring, idx, d);
+    for (u64 k = 0; k < limbs; ++k) {
+        std::copy(data[k].begin(), data[k].end(), p.limb(k));
+    }
+    return p;
+}
+
+void
+write_ciphertext(std::ostream &os, const Ciphertext &ct)
+{
+    put_u64(os, kMagicCiphertext);
+    put_double(os, ct.scale);
+    write_poly(os, ct.c0);
+    write_poly(os, ct.c1);
+}
+
+Ciphertext
+read_ciphertext(std::istream &is, const RingContextPtr &ring)
+{
+    expect_magic(is, kMagicCiphertext, "Ciphertext");
+    Ciphertext ct;
+    ct.scale = get_double(is);
+    ct.c0 = read_poly(is, ring);
+    ct.c1 = read_poly(is, ring);
+    return ct;
+}
+
+void
+write_plaintext(std::ostream &os, const Plaintext &pt)
+{
+    put_u64(os, kMagicPlaintext);
+    put_double(os, pt.scale);
+    write_poly(os, pt.poly);
+}
+
+Plaintext
+read_plaintext(std::istream &is, const RingContextPtr &ring)
+{
+    expect_magic(is, kMagicPlaintext, "Plaintext");
+    Plaintext pt;
+    pt.scale = get_double(is);
+    pt.poly = read_poly(is, ring);
+    return pt;
+}
+
+void
+write_secret_key(std::ostream &os, const SecretKey &sk)
+{
+    put_u64(os, kMagicSecret);
+    write_poly(os, sk.s);
+}
+
+SecretKey
+read_secret_key(std::istream &is, const RingContextPtr &ring)
+{
+    expect_magic(is, kMagicSecret, "SecretKey");
+    return SecretKey{read_poly(is, ring)};
+}
+
+void
+write_public_key(std::ostream &os, const PublicKey &pk)
+{
+    put_u64(os, kMagicPublic);
+    write_poly(os, pk.b);
+    write_poly(os, pk.a);
+}
+
+PublicKey
+read_public_key(std::istream &is, const RingContextPtr &ring)
+{
+    expect_magic(is, kMagicPublic, "PublicKey");
+    PublicKey pk;
+    pk.b = read_poly(is, ring);
+    pk.a = read_poly(is, ring);
+    return pk;
+}
+
+void
+write_kswitch_key(std::ostream &os, const KSwitchKey &k)
+{
+    put_u64(os, kMagicKSwitch);
+    put_u64(os, k.pieces.size());
+    for (const auto &piece : k.pieces) {
+        write_poly(os, piece.b);
+        write_poly(os, piece.a);
+    }
+}
+
+KSwitchKey
+read_kswitch_key(std::istream &is, const RingContextPtr &ring)
+{
+    expect_magic(is, kMagicKSwitch, "KSwitchKey");
+    u64 count = get_u64(is);
+    KSwitchKey k;
+    k.pieces.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        KSwitchKey::Piece piece;
+        piece.b = read_poly(is, ring);
+        piece.a = read_poly(is, ring);
+        k.pieces.push_back(std::move(piece));
+    }
+    return k;
+}
+
+void
+write_galois_keys(std::ostream &os, const GaloisKeys &gk)
+{
+    put_u64(os, kMagicGalois);
+    put_u64(os, gk.keys.size());
+    for (const auto &[g, key] : gk.keys) {
+        put_u64(os, g);
+        write_kswitch_key(os, key);
+    }
+}
+
+GaloisKeys
+read_galois_keys(std::istream &is, const RingContextPtr &ring)
+{
+    expect_magic(is, kMagicGalois, "GaloisKeys");
+    u64 count = get_u64(is);
+    GaloisKeys gk;
+    for (u64 i = 0; i < count; ++i) {
+        u64 g = get_u64(is);
+        gk.keys.emplace(g, read_kswitch_key(is, ring));
+    }
+    return gk;
+}
+
+} // namespace poseidon::io

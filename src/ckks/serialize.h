@@ -1,0 +1,57 @@
+#ifndef POSEIDON_CKKS_SERIALIZE_H_
+#define POSEIDON_CKKS_SERIALIZE_H_
+
+/**
+ * @file
+ * Binary serialization of parameters, polynomials, ciphertexts and
+ * keys — the client/server boundary of the paper's deployment model
+ * (Fig. 1): the client uploads encrypted data and evaluation keys, the
+ * accelerator host loads them into HBM.
+ *
+ * Format: little-endian fixed-width integers with per-object magic
+ * tags. Polynomials are bound to a context at load time; the caller is
+ * responsible for loading against a context built from the same
+ * serialized parameters (the prime chain is revalidated on load).
+ */
+
+#include <iosfwd>
+
+#include "ckks/ciphertext.h"
+#include "ckks/keys.h"
+#include "ckks/params.h"
+
+namespace poseidon::io {
+
+// ---- Parameters ----
+void write_params(std::ostream &os, const CkksParams &p);
+CkksParams read_params(std::istream &is);
+
+// ---- Polynomials (context-bound) ----
+void write_poly(std::ostream &os, const RnsPoly &p);
+RnsPoly read_poly(std::istream &is, const RingContextPtr &ring);
+
+// ---- Ciphertexts / plaintexts ----
+void write_ciphertext(std::ostream &os, const Ciphertext &ct);
+Ciphertext read_ciphertext(std::istream &is, const RingContextPtr &ring);
+
+void write_plaintext(std::ostream &os, const Plaintext &pt);
+Plaintext read_plaintext(std::istream &is, const RingContextPtr &ring);
+
+// ---- Keys ----
+void write_secret_key(std::ostream &os, const SecretKey &sk);
+SecretKey read_secret_key(std::istream &is, const RingContextPtr &ring);
+
+void write_public_key(std::ostream &os, const PublicKey &pk);
+PublicKey read_public_key(std::istream &is, const RingContextPtr &ring);
+
+void write_kswitch_key(std::ostream &os, const KSwitchKey &k);
+KSwitchKey read_kswitch_key(std::istream &is,
+                            const RingContextPtr &ring);
+
+void write_galois_keys(std::ostream &os, const GaloisKeys &gk);
+GaloisKeys read_galois_keys(std::istream &is,
+                            const RingContextPtr &ring);
+
+} // namespace poseidon::io
+
+#endif // POSEIDON_CKKS_SERIALIZE_H_

@@ -1,0 +1,41 @@
+#ifndef POSEIDON_COMMON_LOGGING_H_
+#define POSEIDON_COMMON_LOGGING_H_
+
+/**
+ * @file
+ * Lightweight check/abort helpers used across the Poseidon library.
+ *
+ * Following the gem5 convention: `POSEIDON_CHECK` is for internal
+ * invariants (library bugs -> abort), `POSEIDON_REQUIRE` is for user
+ * errors (bad parameters -> throw std::invalid_argument).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace poseidon {
+
+/// Internal invariant check: failure indicates a library bug.
+#define POSEIDON_CHECK(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::fprintf(stderr, "POSEIDON_CHECK failed at %s:%d: %s\n",   \
+                         __FILE__, __LINE__, (msg));                       \
+            std::abort();                                                  \
+        }                                                                  \
+    } while (0)
+
+/// User-facing precondition: failure indicates bad input/parameters.
+#define POSEIDON_REQUIRE(cond, msg)                                        \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            throw std::invalid_argument(std::string("poseidon: ") + (msg)); \
+        }                                                                  \
+    } while (0)
+
+} // namespace poseidon
+
+#endif // POSEIDON_COMMON_LOGGING_H_

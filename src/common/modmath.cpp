@@ -1,0 +1,140 @@
+#include "common/modmath.h"
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+u64
+pow_mod(u64 a, u64 e, u64 q)
+{
+    u64 r = 1 % q;
+    a %= q;
+    while (e) {
+        if (e & 1) r = mul_mod(r, a, q);
+        a = mul_mod(a, a, q);
+        e >>= 1;
+    }
+    return r;
+}
+
+u64
+inv_mod(u64 a, u64 q)
+{
+    // Extended Euclid on signed 128-bit to avoid overflow.
+    __int128 t = 0, newt = 1;
+    __int128 r = q, newr = a % q;
+    while (newr != 0) {
+        __int128 quot = r / newr;
+        __int128 tmp = t - quot * newt;
+        t = newt;
+        newt = tmp;
+        tmp = r - quot * newr;
+        r = newr;
+        newr = tmp;
+    }
+    POSEIDON_REQUIRE(r == 1, "inv_mod: element not invertible");
+    if (t < 0) t += q;
+    return static_cast<u64>(t);
+}
+
+namespace {
+
+bool
+miller_rabin(u64 n, u64 a)
+{
+    if (a % n == 0) return true;
+    u64 d = n - 1;
+    unsigned s = 0;
+    while ((d & 1) == 0) { d >>= 1; ++s; }
+    u64 x = pow_mod(a, d, n);
+    if (x == 1 || x == n - 1) return true;
+    for (unsigned i = 1; i < s; ++i) {
+        x = mul_mod(x, x, n);
+        if (x == n - 1) return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+is_prime(u64 n)
+{
+    if (n < 2) return false;
+    for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                  23ull, 29ull, 31ull, 37ull}) {
+        if (n == p) return true;
+        if (n % p == 0) return false;
+    }
+    // Deterministic witness set for 64-bit integers.
+    for (u64 a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                  23ull, 29ull, 31ull, 37ull}) {
+        if (!miller_rabin(n, a)) return false;
+    }
+    return true;
+}
+
+Barrett64::Barrett64(u64 q)
+    : q_(q)
+{
+    POSEIDON_REQUIRE(q > 1 && q < kMaxModulus, "Barrett64: bad modulus");
+    // mu = floor(2^128 / q). Compute via long division of 2^128 by q.
+    // 2^128 / q = ((2^64 / q) * 2^64 + ((2^64 mod q) * 2^64) / q)  (approx.)
+    // Do exact 128/64 long division digit by digit instead.
+    u128 rem = 0;
+    u64 hi = 0, lo = 0;
+    for (int bit = 127; bit >= 0; --bit) {
+        rem <<= 1;
+        rem |= 1;  // numerator 2^128 - 1; floor((2^128-1)/q) == floor(2^128/q)
+                   // unless q divides 2^128, impossible for odd q > 1.
+        if (rem >= q) {
+            rem -= q;
+            if (bit >= 64) {
+                hi |= u64(1) << (bit - 64);
+            } else {
+                lo |= u64(1) << bit;
+            }
+        }
+    }
+    muHi_ = hi;
+    muLo_ = lo;
+}
+
+u64
+find_primitive_root(u64 q)
+{
+    POSEIDON_REQUIRE(is_prime(q), "find_primitive_root: q must be prime");
+    u64 phi = q - 1;
+    // Factor phi (trial division; fine for the 28-60 bit primes we use).
+    std::vector<u64> factors;
+    u64 m = phi;
+    for (u64 p = 2; p * p <= m; p += (p == 2 ? 1 : 2)) {
+        if (m % p == 0) {
+            factors.push_back(p);
+            while (m % p == 0) m /= p;
+        }
+    }
+    if (m > 1) factors.push_back(m);
+    for (u64 g = 2; g < q; ++g) {
+        bool ok = true;
+        for (u64 f : factors) {
+            if (pow_mod(g, phi / f, q) == 1) { ok = false; break; }
+        }
+        if (ok) return g;
+    }
+    POSEIDON_CHECK(false, "no primitive root found");
+    return 0;
+}
+
+u64
+find_nth_root(u64 n, u64 q)
+{
+    POSEIDON_REQUIRE((q - 1) % n == 0, "find_nth_root: n must divide q-1");
+    u64 g = find_primitive_root(q);
+    u64 w = pow_mod(g, (q - 1) / n, q);
+    POSEIDON_CHECK(pow_mod(w, n, q) == 1, "nth root sanity");
+    POSEIDON_CHECK(n == 1 || pow_mod(w, n / 2, q) != 1, "root is primitive");
+    return w;
+}
+
+} // namespace poseidon

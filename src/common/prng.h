@@ -1,0 +1,75 @@
+#ifndef POSEIDON_COMMON_PRNG_H_
+#define POSEIDON_COMMON_PRNG_H_
+
+/**
+ * @file
+ * Deterministic pseudo-random generation and the lattice samplers used
+ * by the CKKS key generator and encryptor.
+ *
+ * A seeded xoshiro256** generator keeps every test and benchmark
+ * reproducible. Cryptographic strength is irrelevant for this
+ * reproduction; distributional shape (uniform / ternary / discrete
+ * Gaussian) is what affects correctness and noise growth.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/modmath.h"
+
+namespace poseidon {
+
+/// xoshiro256** PRNG (Blackman & Vigna), seeded deterministically.
+class Prng
+{
+  public:
+    explicit Prng(u64 seed = 0x505345494E4F44ULL); // "POSEIDON"-ish
+
+    /// Next raw 64-bit output.
+    u64 next();
+
+    /// Uniform value in [0, bound) without modulo bias (bound >= 1).
+    u64 uniform(u64 bound);
+
+    /// Uniform double in [0, 1).
+    double uniform_double();
+
+    /// Standard normal via Box-Muller.
+    double gaussian();
+
+  private:
+    u64 s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/**
+ * Samplers for the three RLWE distributions, producing signed
+ * coefficients that callers reduce into each RNS modulus.
+ */
+class Sampler
+{
+  public:
+    explicit Sampler(u64 seed) : prng_(seed) {}
+
+    /// Ternary secret in {-1, 0, 1}^n with hamming-ish density 2/3.
+    std::vector<i64> ternary(std::size_t n);
+
+    /// Ternary secret with exactly h nonzero entries (sparse secret).
+    std::vector<i64> sparse_ternary(std::size_t n, std::size_t h);
+
+    /// Rounded Gaussian error, sigma = 3.2 (RLWE standard).
+    std::vector<i64> gaussian(std::size_t n, double sigma = 3.2);
+
+    /// Uniform residues in [0, q)^n.
+    std::vector<u64> uniform_mod(std::size_t n, u64 q);
+
+    Prng& prng() { return prng_; }
+
+  private:
+    Prng prng_;
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_COMMON_PRNG_H_

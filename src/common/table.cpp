@@ -1,0 +1,87 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+void
+AsciiTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+AsciiTable::row(std::vector<std::string> cols)
+{
+    POSEIDON_REQUIRE(header_.empty() || cols.size() == header_.size(),
+                     "AsciiTable: row width mismatch");
+    rows_.push_back(std::move(cols));
+}
+
+std::string
+AsciiTable::str() const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            if (i >= width.size()) width.resize(i + 1, 0);
+            width[i] = std::max(width[i], r[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto &r : rows_) widen(r);
+
+    auto line = [&]() {
+        std::string s = "+";
+        for (auto w : width) s += std::string(w + 2, '-') + "+";
+        s += "\n";
+        return s;
+    };
+    auto fmt_row = [&](const std::vector<std::string> &r) {
+        std::string s = "|";
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            s += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+        }
+        s += "\n";
+        return s;
+    };
+
+    std::ostringstream os;
+    os << "\n== " << title_ << " ==\n";
+    os << line();
+    if (!header_.empty()) {
+        os << fmt_row(header_) << line();
+    }
+    for (const auto &r : rows_) os << fmt_row(r);
+    os << line();
+    return os.str();
+}
+
+void
+AsciiTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+AsciiTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+AsciiTable::speedup(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", digits, v);
+    return buf;
+}
+
+} // namespace poseidon

@@ -1,0 +1,47 @@
+#ifndef POSEIDON_COMMON_TABLE_H_
+#define POSEIDON_COMMON_TABLE_H_
+
+/**
+ * @file
+ * Minimal ASCII table formatter used by the benchmark harness to print
+ * the paper's tables/figures as aligned text.
+ */
+
+#include <string>
+#include <vector>
+
+namespace poseidon {
+
+/// Column-aligned ASCII table with a title, header row, and data rows.
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+    /// Set the header row (column names).
+    void header(std::vector<std::string> cols);
+
+    /// Append a data row; must match the header width.
+    void row(std::vector<std::string> cols);
+
+    /// Render to a string with box-drawing separators.
+    std::string str() const;
+
+    /// Render and write to stdout.
+    void print() const;
+
+    /// Format a double with the given number of fraction digits.
+    static std::string num(double v, int digits = 2);
+
+    /// Format "<v>x" speedup strings.
+    static std::string speedup(double v, int digits = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_COMMON_TABLE_H_

@@ -1,0 +1,79 @@
+#ifndef POSEIDON_HW_CONFIG_H_
+#define POSEIDON_HW_CONFIG_H_
+
+/**
+ * @file
+ * Configuration of the modeled Poseidon accelerator.
+ *
+ * Defaults follow the paper's Xilinx Alveo U280 implementation:
+ * 512 vector lanes at 300 MHz, 64 radix-8 NTT cores (k = 3), a 8.6 MB
+ * scratchpad, and two HBM2 stacks (32 channels, 460 GB/s peak).
+ */
+
+#include <cstddef>
+
+namespace poseidon::hw {
+
+/// Knobs of the modeled accelerator instance.
+struct HwConfig
+{
+    /// Vector datapath width (elements per cycle for MA/MM).
+    std::size_t lanes = 512;
+
+    /// Accelerator clock in GHz.
+    double clockGHz = 0.30;
+
+    /// NTT-fusion radix exponent k (the paper picks 3).
+    unsigned nttRadixLog2 = 3;
+
+    /// HBM channels (2 stacks x 16).
+    std::size_t hbmChannels = 32;
+
+    /// Peak HBM bandwidth in GB/s.
+    double hbmPeakGBps = 460.0;
+
+    /// Achievable fraction of peak on streaming access.
+    double hbmEfficiency = 0.98;
+
+    /// On-chip scratchpad capacity in MB.
+    double scratchpadMB = 8.6;
+
+    /**
+     * Limb-tiles the pipeline keeps resident (operand tiles, twiddle
+     * tables, FIFO buffers) — the scratchpad requirement is
+     * scratchpadTiles * N * wordBytes. When the scratchpad is smaller,
+     * tiles respill to HBM and memory time scales up accordingly.
+     */
+    double scratchpadTiles = 24.0;
+
+    /// Word width of one RNS residue in bytes (32-bit in the paper).
+    unsigned wordBytes = 4;
+
+    /// Use the HFAuto 4-stage automorphism core (vs 1 elem/cycle).
+    bool hfauto = true;
+
+    /// HFAuto sub-vector length C.
+    std::size_t hfautoSubvec = 512;
+
+    /**
+     * Fraction of the shorter of (compute, memory) time that the
+     * pipeline hides behind the longer one:
+     * T = max(C, M) + (1 - overlap) * min(C, M). 1.0 is a perfect
+     * dataflow machine, 0.0 strictly serial.
+     */
+    double overlap = 0.92;
+
+    /// Peak HBM bytes per accelerator cycle.
+    double
+    bytes_per_cycle() const
+    {
+        return hbmPeakGBps * 1e9 / (clockGHz * 1e9);
+    }
+
+    /// The paper's U280 configuration (the defaults).
+    static HwConfig poseidon_u280() { return HwConfig{}; }
+};
+
+} // namespace poseidon::hw
+
+#endif // POSEIDON_HW_CONFIG_H_

@@ -1,0 +1,50 @@
+#include "hw/energy.h"
+
+#include "ntt/fusion.h"
+
+namespace poseidon::hw {
+
+using isa::OpKind;
+
+EnergyModel::EnergyModel(const HwConfig &cfg, EnergyParams p)
+    : cfg_(cfg), params_(p)
+{}
+
+EnergyBreakdown
+EnergyModel::eval(const isa::Trace &trace, const SimResult &timing) const
+{
+    EnergyBreakdown e;
+    for (const auto &in : trace.instrs()) {
+        double elems = static_cast<double>(in.elems);
+        switch (in.kind) {
+          case OpKind::MA:
+            e.ma += elems * params_.pjMA * 1e-12;
+            break;
+          case OpKind::MM:
+            e.mm += elems * params_.pjMM * 1e-12;
+            break;
+          case OpKind::NTT:
+          case OpKind::INTT: {
+            double passes = static_cast<double>(FusionCostModel::phases(
+                in.degree, cfg_.nttRadixLog2));
+            e.ntt += elems * passes * params_.pjNTTPerPass * 1e-12;
+            break;
+          }
+          case OpKind::AUTO:
+            e.autom += elems * params_.pjAuto * 1e-12;
+            break;
+          case OpKind::SBT:
+            e.sbt += elems * params_.pjSBT * 1e-12;
+            break;
+          case OpKind::HBM_RD:
+          case OpKind::HBM_WR:
+            e.memory += elems * cfg_.wordBytes * params_.pjHBMByte *
+                        1e-12;
+            break;
+        }
+    }
+    e.staticE = params_.staticWatts * timing.seconds;
+    return e;
+}
+
+} // namespace poseidon::hw

@@ -1,0 +1,69 @@
+#ifndef POSEIDON_HW_ENERGY_H_
+#define POSEIDON_HW_ENERGY_H_
+
+/**
+ * @file
+ * First-order energy model (Fig. 12, Table X).
+ *
+ * Per-element dynamic energies per operator core plus per-byte HBM
+ * access energy plus static power integrated over the run. Absolute
+ * joules are model outputs, not measurements; the paper-relevant
+ * properties — memory access dominating, MM and NTT dominating the
+ * compute share, MA negligible — follow from the constants' ratios,
+ * which are standard for 32-bit FPGA datapaths and HBM2.
+ */
+
+#include <map>
+
+#include "hw/sim.h"
+
+namespace poseidon::hw {
+
+/// Energy constants (picojoules per element / byte, watts static).
+struct EnergyParams
+{
+    double pjMA = 1.0;       ///< add + compare per element
+    double pjMM = 9.0;       ///< 32x32 multiply + Barrett per element
+    double pjNTTPerPass = 6.5; ///< per element per fused pass
+    double pjAuto = 0.6;     ///< permutation datapath per element
+    double pjSBT = 2.0;      ///< standalone reduction per element
+    double pjHBMByte = 40.0; ///< HBM2 access incl. PHY
+    double staticWatts = 22.0; ///< FPGA static + clocking
+};
+
+/// Energy outcome of one trace execution.
+struct EnergyBreakdown
+{
+    double ma = 0, mm = 0, ntt = 0, autom = 0, sbt = 0;
+    double memory = 0;
+    double staticE = 0;
+
+    double total() const
+    {
+        return ma + mm + ntt + autom + sbt + memory + staticE;
+    }
+
+    /// Energy-delay product in joule-seconds.
+    double edp(double seconds) const { return total() * seconds; }
+};
+
+/// Prices traces under the configured constants.
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const HwConfig &cfg, EnergyParams p = {});
+
+    const EnergyParams& params() const { return params_; }
+
+    /// Energy of a trace given its timing result.
+    EnergyBreakdown eval(const isa::Trace &trace,
+                         const SimResult &timing) const;
+
+  private:
+    HwConfig cfg_;
+    EnergyParams params_;
+};
+
+} // namespace poseidon::hw
+
+#endif // POSEIDON_HW_ENERGY_H_

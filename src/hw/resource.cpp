@@ -1,0 +1,154 @@
+#include "hw/resource.h"
+
+#include "common/logging.h"
+#include "ntt/fusion.h"
+
+namespace poseidon::hw {
+
+namespace {
+
+/// Per-lane resource constants for the element-wise cores (typical
+/// 32-bit FPGA datapath costs).
+constexpr u64 kMaLutPerLane = 45;
+constexpr u64 kMaFfPerLane = 52;
+
+constexpr u64 kMmLutPerLane = 185;
+constexpr u64 kMmFfPerLane = 240;
+constexpr u64 kMmDspPerLane = 4;
+
+constexpr u64 kSbtLutPerLane = 80;
+constexpr u64 kSbtFfPerLane = 96;
+constexpr u64 kSbtDspPerLane = 3;
+
+/// NTT model coefficients: resource = B * (3 * passes + (2^k - 1)),
+/// evaluated at the reference degree 2^16 (pass count 16/k).
+constexpr u64 kNttRefLogN = 16;
+constexpr double kNttB_ff = 3400;
+constexpr double kNttB_dsp = 88;
+constexpr double kNttB_lut = 2600;
+
+} // namespace
+
+CoreResources&
+CoreResources::operator+=(const CoreResources &o)
+{
+    ff += o.ff;
+    dsp += o.dsp;
+    lut += o.lut;
+    bram += o.bram;
+    uram += o.uram;
+    return *this;
+}
+
+ResourceModel::ResourceModel(HwConfig cfg)
+    : cfg_(cfg)
+{}
+
+CoreResources
+ResourceModel::ma_cores() const
+{
+    u64 lanes = cfg_.lanes;
+    return {"MA", kMaFfPerLane * lanes, 0, kMaLutPerLane * lanes, 8};
+}
+
+CoreResources
+ResourceModel::mm_cores() const
+{
+    u64 lanes = cfg_.lanes;
+    return {"MM", kMmFfPerLane * lanes, kMmDspPerLane * lanes,
+            kMmLutPerLane * lanes, 32};
+}
+
+CoreResources
+ResourceModel::ntt_cores_at(unsigned k) const
+{
+    POSEIDON_REQUIRE(k >= 1 && k <= 6, "ntt_cores_at: k out of [1,6]");
+    double passes = static_cast<double>(
+        FusionCostModel::phases(u64(1) << kNttRefLogN, k));
+    double mults = static_cast<double>((u64(1) << k) - 1);
+    double unitCost = 3.0 * passes + mults;
+    double laneScale = static_cast<double>(cfg_.lanes) / 512.0;
+
+    // Twiddle storage scales with the fused twiddle count per block
+    // and the number of passes that must keep factors resident.
+    FusionCostModel fm{k};
+    u64 bram = static_cast<u64>(
+        (2.0 * passes + static_cast<double>(fm.twiddles_fused())) * 8.0 *
+        laneScale);
+
+    return {"NTT",
+            static_cast<u64>(kNttB_ff * unitCost * laneScale),
+            static_cast<u64>(kNttB_dsp * unitCost * laneScale),
+            static_cast<u64>(kNttB_lut * unitCost * laneScale),
+            bram};
+}
+
+CoreResources
+ResourceModel::ntt_cores() const
+{
+    return ntt_cores_at(cfg_.nttRadixLog2);
+}
+
+CoreResources
+ResourceModel::auto_single(bool hfauto, std::size_t subvec)
+{
+    if (!hfauto) {
+        // One index map per cycle: a counter, a modular step and an
+        // address register — nearly free, but slow.
+        return {"Auto", 88, 0, 210, 1};
+    }
+    // The paper's HFAuto core (Table VIII): wide mux/shift networks
+    // for C-element sub-vectors plus the dual-port BRAM bank.
+    double scale = static_cast<double>(subvec) / 512.0;
+    return {"HFAuto", static_cast<u64>(572 * scale), 0,
+            static_cast<u64>(25751 * scale),
+            static_cast<u64>(512 * scale)};
+}
+
+u64
+ResourceModel::auto_latency_cycles(std::size_t n, bool hfauto,
+                                   std::size_t subvec)
+{
+    if (!hfauto) return static_cast<u64>(n);
+    return 4 * static_cast<u64>(n) / static_cast<u64>(subvec);
+}
+
+CoreResources
+ResourceModel::auto_core() const
+{
+    CoreResources r = auto_single(cfg_.hfauto, cfg_.hfautoSubvec);
+    r.name = "Automorphism";
+    return r;
+}
+
+CoreResources
+ResourceModel::sbt_cores() const
+{
+    u64 lanes = cfg_.lanes;
+    return {"SBT", kSbtFfPerLane * lanes, kSbtDspPerLane * lanes,
+            kSbtLutPerLane * lanes, 16};
+}
+
+CoreResources
+ResourceModel::total() const
+{
+    CoreResources t{"Total", 0, 0, 0, 0};
+    t += ma_cores();
+    t += mm_cores();
+    t += ntt_cores();
+    t += auto_core();
+    t += sbt_cores();
+    // Scratchpad lives in UltraRAM (288Kb blocks) on the U280.
+    t.uram += static_cast<u64>(cfg_.scratchpadMB * 1024.0 * 1024.0 * 8.0 /
+                               (288.0 * 1024.0));
+    return t;
+}
+
+std::vector<CoreResources>
+ResourceModel::table_rows() const
+{
+    return {ma_cores(), mm_cores(), ntt_cores(), auto_core(),
+            sbt_cores(), total()};
+}
+
+} // namespace poseidon::hw

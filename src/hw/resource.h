@@ -1,0 +1,92 @@
+#ifndef POSEIDON_HW_RESOURCE_H_
+#define POSEIDON_HW_RESOURCE_H_
+
+/**
+ * @file
+ * FPGA resource model (Tables VIII, XI, XII and Fig. 10).
+ *
+ * Per-core FF/DSP/LUT/BRAM estimates for the five operator cores at a
+ * given lane count and NTT radix. The NTT core model captures the
+ * paper's k trade-off: fewer fused passes need less inter-pass
+ * buffering/control, while wider radix needs more multipliers —
+ * resource(k) ~ A * passes(k) + B * (2^k - 1), U-shaped with the
+ * minimum at k = 3. Automorphism core numbers reproduce the paper's
+ * Table VIII (naive Auto vs HFAuto).
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/modmath.h"
+#include "hw/config.h"
+
+namespace poseidon::hw {
+
+/// One core's (or core array's) resource vector.
+struct CoreResources
+{
+    std::string name;
+    u64 ff = 0;
+    u64 dsp = 0;
+    u64 lut = 0;
+    u64 bram = 0;
+    u64 uram = 0;
+
+    CoreResources& operator+=(const CoreResources &o);
+};
+
+/// Alveo U280 device capacity (for utilization percentages).
+struct DeviceCapacity
+{
+    u64 ff = 2607360;
+    u64 dsp = 9024;
+    u64 lut = 1303680;
+    u64 bram = 2016; ///< 36Kb tiles
+    u64 uram = 960;  ///< 288Kb UltraRAM blocks (hold the scratchpad)
+};
+
+/// Estimates resources for the configured accelerator instance.
+class ResourceModel
+{
+  public:
+    explicit ResourceModel(HwConfig cfg = HwConfig::poseidon_u280());
+
+    /// 512-lane MA core array.
+    CoreResources ma_cores() const;
+
+    /// 512-lane MM (Barrett) core array.
+    CoreResources mm_cores() const;
+
+    /// NTT core array at the configured radix.
+    CoreResources ntt_cores() const;
+
+    /// NTT core array at an explicit radix (Fig. 10 sweep).
+    CoreResources ntt_cores_at(unsigned k) const;
+
+    /// Automorphism engine (HFAuto or naive per config).
+    CoreResources auto_core() const;
+
+    /// Shared Barrett reduction units.
+    CoreResources sbt_cores() const;
+
+    /// Everything summed (Table XI bottom line).
+    CoreResources total() const;
+
+    /// All core rows in Table XI order.
+    std::vector<CoreResources> table_rows() const;
+
+    /**
+     * Single automorphism core comparison (Table VIII): naive Auto vs
+     * HFAuto, with latency in cycles for an N-point polynomial.
+     */
+    static CoreResources auto_single(bool hfauto, std::size_t subvec);
+    static u64 auto_latency_cycles(std::size_t n, bool hfauto,
+                                   std::size_t subvec);
+
+  private:
+    HwConfig cfg_;
+};
+
+} // namespace poseidon::hw
+
+#endif // POSEIDON_HW_RESOURCE_H_

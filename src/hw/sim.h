@@ -1,0 +1,92 @@
+#ifndef POSEIDON_HW_SIM_H_
+#define POSEIDON_HW_SIM_H_
+
+/**
+ * @file
+ * Cycle-level performance model of the Poseidon accelerator.
+ *
+ * The simulator prices an operator trace (isa::Trace) in cycles:
+ *  - element-wise cores (MA/MM) stream `lanes` elements per cycle;
+ *  - NTT cores run ceil(log2(N)/k) fused passes over each polynomial,
+ *    with a serialization penalty beyond k=3 where the per-output
+ *    multiplier count (2^k - 1) exceeds the DSP budget the paper's
+ *    design is sized for;
+ *  - the automorphism core is either HFAuto (4 sub-vector stages,
+ *    C elements per cycle) or the naive 1-element-per-cycle engine;
+ *  - SBT is fused into the MM/NTT pipelines (no marginal cycles);
+ *  - HBM transfers run at peak * efficiency bytes per cycle.
+ *
+ * Per maximal same-tag segment (one basic operation), compute and
+ * memory overlap partially: T = ov*max(C,M) + (1-ov)*(C+M).
+ */
+
+#include <array>
+#include <map>
+
+#include "hw/config.h"
+#include "isa/trace.h"
+
+namespace poseidon::hw {
+
+/// Timing/traffic outcome of running one trace.
+struct SimResult
+{
+    double cycles = 0.0;
+    double seconds = 0.0;
+    double computeCycles = 0.0; ///< sum over compute instructions
+    double memCycles = 0.0;     ///< sum over HBM instructions
+    u64 bytesRead = 0;
+    u64 bytesWritten = 0;
+
+    /// Compute cycles per operator kind (Fig. 9 style breakdown).
+    std::array<double, 8> kindCycles = {};
+
+    /// Wall time charged to each basic-operation tag (Fig. 8 style).
+    std::map<isa::BasicOp, double> tagSeconds;
+
+    /// HBM bytes attributed to each tag.
+    std::map<isa::BasicOp, double> tagBytes;
+
+    double kind_cycles(isa::OpKind k) const
+    {
+        return kindCycles[static_cast<int>(k)];
+    }
+
+    /// Achieved HBM bandwidth / peak (Table VII metric).
+    double bandwidth_utilization(const HwConfig &cfg) const;
+
+    /// Per-tag bandwidth utilization.
+    double tag_bandwidth_utilization(const HwConfig &cfg,
+                                     isa::BasicOp tag) const;
+};
+
+/// The accelerator model.
+class PoseidonSim
+{
+  public:
+    explicit PoseidonSim(HwConfig cfg = HwConfig::poseidon_u280());
+
+    const HwConfig& config() const { return cfg_; }
+
+    /// Run a trace through the timing model.
+    SimResult run(const isa::Trace &trace) const;
+
+    /// Compute cycles of a single instruction (exposed for tests).
+    double compute_cycles(const isa::Instr &in) const;
+
+    /// Memory cycles of a single HBM instruction.
+    double memory_cycles(const isa::Instr &in) const;
+
+    /// Cycles for one N-point NTT pass structure under radix 2^k.
+    double ntt_poly_cycles(u64 degree) const;
+
+    /// Cycles for one N-point automorphism under the configured core.
+    double auto_poly_cycles(u64 degree) const;
+
+  private:
+    HwConfig cfg_;
+};
+
+} // namespace poseidon::hw
+
+#endif // POSEIDON_HW_SIM_H_

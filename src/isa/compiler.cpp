@@ -1,0 +1,228 @@
+#include "isa/compiler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace poseidon::isa {
+
+namespace {
+
+/// Shorthand: words of one full ciphertext (2 polys).
+u64
+ct_words(const OpShape &s)
+{
+    return 2 * s.limbs * s.n;
+}
+
+} // namespace
+
+void
+emit_hadd(Trace &t, const OpShape &s, BasicOp tag)
+{
+    t.emit(OpKind::HBM_RD, 2 * ct_words(s), s.n, tag); // two ciphertexts
+    t.emit(OpKind::MA, 2 * s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::HBM_WR, ct_words(s), s.n, tag);
+}
+
+void
+emit_pmult(Trace &t, const OpShape &s, BasicOp tag)
+{
+    // Ciphertext (2 polys) + plaintext (1 poly) in; MM on both halves.
+    t.emit(OpKind::HBM_RD, 3 * s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::MM, 2 * s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::SBT, 2 * s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::HBM_WR, ct_words(s), s.n, tag);
+}
+
+void
+emit_keyswitch(Trace &t, const OpShape &s, bool standalone, BasicOp tag)
+{
+    u64 D = s.digits();
+    u64 ext = s.ext_limbs();
+    u64 alpha = (s.limbs + D - 1) / D; // primes per digit
+
+    if (standalone) {
+        t.emit(OpKind::HBM_RD, s.limbs * s.n, s.n, tag);
+    }
+
+    // ModUp: input to coefficient domain, then per digit a base
+    // conversion into the extended basis followed by NTT.
+    t.emit(OpKind::INTT, s.limbs * s.n, s.n, tag);
+    // RNSconv per digit: y_i = x_i * qhat_inv (alpha MM), then the
+    // accumulation onto every extended limb (alpha MM + (alpha-1) MA
+    // per target limb); alpha == 1 degenerates to a pure reduction.
+    u64 convMM = D * (alpha + alpha * ext) * s.n;
+    u64 convMA = D * ((alpha > 0 ? alpha - 1 : 0) * ext) * s.n;
+    t.emit(OpKind::MM, convMM, s.n, tag);
+    if (convMA) t.emit(OpKind::MA, convMA, s.n, tag);
+    t.emit(OpKind::SBT, convMM, s.n, tag);
+    t.emit(OpKind::NTT, D * ext * s.n, s.n, tag);
+
+    // Inner products with the switching key: stream the key from HBM.
+    t.emit(OpKind::HBM_RD, D * 2 * ext * s.n, s.n, tag);
+    t.emit(OpKind::MM, D * 2 * ext * s.n, s.n, tag);
+    t.emit(OpKind::MA, D * 2 * ext * s.n, s.n, tag);
+    t.emit(OpKind::SBT, D * 2 * ext * s.n, s.n, tag);
+
+    // ModDown of both accumulators: INTT, conv p->q, subtract, *P^-1,
+    // NTT back to the evaluation domain.
+    t.emit(OpKind::INTT, 2 * ext * s.n, s.n, tag);
+    u64 mdMM = 2 * (s.K + s.K * s.limbs + s.limbs) * s.n;
+    t.emit(OpKind::MM, mdMM, s.n, tag);
+    t.emit(OpKind::MA, 2 * s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::SBT, mdMM, s.n, tag);
+    t.emit(OpKind::NTT, 2 * s.limbs * s.n, s.n, tag);
+
+    if (standalone) {
+        t.emit(OpKind::HBM_WR, ct_words(s), s.n, tag);
+    }
+}
+
+void
+emit_cmult(Trace &t, const OpShape &s, BasicOp tag)
+{
+    t.emit(OpKind::HBM_RD, 2 * ct_words(s), s.n, tag);
+    // Tensor product: d0, d2, and the two cross terms of d1.
+    t.emit(OpKind::MM, 4 * s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::MA, s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::SBT, 4 * s.limbs * s.n, s.n, tag);
+    // Relinearize d2 (on chip) and fold into (d0, d1).
+    emit_keyswitch(t, s, /*standalone=*/false, tag);
+    t.emit(OpKind::MA, 2 * s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::HBM_WR, ct_words(s), s.n, tag);
+}
+
+void
+emit_rescale(Trace &t, const OpShape &s, BasicOp tag)
+{
+    POSEIDON_REQUIRE(s.limbs >= 2, "emit_rescale: nothing to drop");
+    u64 rem = s.limbs - 1;
+    t.emit(OpKind::HBM_RD, ct_words(s), s.n, tag);
+    // Both polys: INTT of the dropped limb, then per remaining limb a
+    // reduction, NTT, subtraction and multiply by q_l^{-1}.
+    t.emit(OpKind::INTT, 2 * s.n, s.n, tag);
+    t.emit(OpKind::SBT, 2 * rem * s.n, s.n, tag);
+    t.emit(OpKind::NTT, 2 * rem * s.n, s.n, tag);
+    t.emit(OpKind::MA, 4 * rem * s.n, s.n, tag);
+    t.emit(OpKind::MM, 2 * rem * s.n, s.n, tag);
+    t.emit(OpKind::HBM_WR, 2 * rem * s.n, s.n, tag);
+}
+
+void
+emit_ntt_op(Trace &t, const OpShape &s, BasicOp tag)
+{
+    t.emit(OpKind::HBM_RD, s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::NTT, s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::SBT, s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::HBM_WR, s.limbs * s.n, s.n, tag);
+}
+
+void
+emit_modup(Trace &t, const OpShape &s, BasicOp tag)
+{
+    u64 D = s.digits();
+    u64 ext = s.ext_limbs();
+    u64 alpha = (s.limbs + D - 1) / D;
+    t.emit(OpKind::HBM_RD, s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::INTT, s.limbs * s.n, s.n, tag);
+    u64 convMM = D * (alpha + alpha * ext) * s.n;
+    t.emit(OpKind::MM, convMM, s.n, tag);
+    t.emit(OpKind::SBT, convMM, s.n, tag);
+    t.emit(OpKind::NTT, D * ext * s.n, s.n, tag);
+    t.emit(OpKind::HBM_WR, D * ext * s.n, s.n, tag);
+}
+
+void
+emit_moddown(Trace &t, const OpShape &s, BasicOp tag)
+{
+    u64 ext = s.ext_limbs();
+    t.emit(OpKind::HBM_RD, ext * s.n, s.n, tag);
+    t.emit(OpKind::INTT, ext * s.n, s.n, tag);
+    u64 mdMM = (s.K + s.K * s.limbs + s.limbs) * s.n;
+    t.emit(OpKind::MM, mdMM, s.n, tag);
+    t.emit(OpKind::MA, s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::SBT, mdMM, s.n, tag);
+    t.emit(OpKind::NTT, s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::HBM_WR, s.limbs * s.n, s.n, tag);
+}
+
+void
+emit_rotation(Trace &t, const OpShape &s, BasicOp tag)
+{
+    t.emit(OpKind::HBM_RD, ct_words(s), s.n, tag);
+    // Index mapping on both components (HFAuto), then keyswitch of the
+    // permuted c1 and the final addition into c0.
+    t.emit(OpKind::AUTO, 2 * s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::SBT, 2 * s.limbs * s.n, s.n, tag); // Eq. 4 index math
+    emit_keyswitch(t, s, /*standalone=*/false, tag);
+    t.emit(OpKind::MA, s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::HBM_WR, ct_words(s), s.n, tag);
+}
+
+void
+emit_bootstrap(Trace &t, const BootstrapShape &bs, BasicOp tag)
+{
+    OpShape s = bs.base;
+    u64 ns = bs.eff_slots();
+
+    // ModRaise: read bottom-level ct, broadcast into the full chain.
+    t.emit(OpKind::HBM_RD, 2 * s.n, s.n, tag);
+    t.emit(OpKind::SBT, 2 * s.limbs * s.n, s.n, tag);
+    t.emit(OpKind::NTT, 2 * s.limbs * s.n, s.n, tag);
+
+    auto emit_linear_stage = [&](u64 radix) {
+        // BSGS over a radix-`radix` butterfly stage: ~2*sqrt(radix)
+        // rotations and `radix` diagonal multiplications.
+        u64 n1 = static_cast<u64>(
+            std::ceil(std::sqrt(static_cast<double>(radix))));
+        u64 nb = (radix + n1 - 1) / n1;
+        for (u64 g = 1; g < n1; ++g) emit_rotation(t, s, tag);
+        for (u64 d = 0; d < radix; ++d) emit_pmult(t, s, tag);
+        t.emit(OpKind::MA, 2 * (radix - 1) * s.limbs * s.n, s.n, tag);
+        for (u64 b = 1; b < nb; ++b) emit_rotation(t, s, tag);
+        if (s.limbs > 1) {
+            emit_rescale(t, s, tag);
+            --s.limbs;
+        }
+    };
+
+    // CoeffToSlot: factored into ctsStages balanced radices.
+    u64 ctsRadix = static_cast<u64>(std::llround(
+        std::pow(static_cast<double>(ns), 1.0 / bs.ctsStages)));
+    if (ctsRadix < 2) ctsRadix = 2;
+    for (u64 st = 0; st < bs.ctsStages; ++st) emit_linear_stage(ctsRadix);
+
+    // Split into real/imag halves: conjugation + two constant mults.
+    emit_rotation(t, s, tag); // conjugation == automorphism+keyswitch
+    for (int i = 0; i < 2; ++i) {
+        emit_pmult(t, s, tag);
+    }
+    if (s.limbs > 1) {
+        emit_rescale(t, s, tag);
+        --s.limbs;
+    }
+
+    // EvalMod on both halves.
+    for (int half = 0; half < 2; ++half) {
+        for (u64 c = 0; c < bs.evalModCMults; ++c) {
+            emit_cmult(t, s, tag);
+            if (s.limbs > 1) {
+                emit_rescale(t, s, tag);
+                if (half == 1) --s.limbs;
+            }
+        }
+        for (u64 p = 0; p < bs.evalModPMults; ++p) emit_pmult(t, s, tag);
+        emit_rotation(t, s, tag); // conjugation for Im() extraction
+    }
+
+    // SlotToCoeff.
+    u64 stcRadix = static_cast<u64>(std::llround(
+        std::pow(static_cast<double>(ns), 1.0 / bs.stcStages)));
+    if (stcRadix < 2) stcRadix = 2;
+    for (u64 st = 0; st < bs.stcStages; ++st) emit_linear_stage(stcRadix);
+
+    t.emit(OpKind::HBM_WR, 2 * s.limbs * s.n, s.n, tag);
+}
+
+} // namespace poseidon::isa

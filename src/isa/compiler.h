@@ -1,0 +1,78 @@
+#ifndef POSEIDON_ISA_COMPILER_H_
+#define POSEIDON_ISA_COMPILER_H_
+
+/**
+ * @file
+ * Lowering of CKKS basic operations to Poseidon operator traces.
+ *
+ * Each emitter mirrors the software evaluator's control flow (see
+ * ckks/evaluator.cpp) and the paper's operator decomposition (Table I):
+ * the same MA/MM/NTT/Automorphism/SBT steps, with explicit HBM reads
+ * for operands and keyswitching keys — the traffic that dominates FHE
+ * accelerator time.
+ *
+ * Keyswitching is modeled with `digits` RNS digits (the default, one
+ * digit per prime, matches the software library; benchmarks may lower
+ * dnum to model grouped digits).
+ */
+
+#include "isa/trace.h"
+
+namespace poseidon::isa {
+
+/// Shape of the ciphertext an operation runs on.
+struct OpShape
+{
+    u64 n = u64(1) << 16; ///< ring degree N
+    u64 limbs = 45;       ///< current ciphertext primes (level+1)
+    u64 K = 1;            ///< special primes
+    u64 dnum = 0;         ///< keyswitch digits; 0 means one per prime
+
+    u64 digits() const { return dnum == 0 ? limbs : dnum; }
+    u64 ext_limbs() const { return limbs + K; }
+};
+
+// Every emitter appends to `t`; `tag` attributes the work (nested
+// keyswitches inside Rotation/CMult keep the parent's tag so Fig. 8
+// style breakdowns charge time to the basic operation the user called).
+
+void emit_hadd(Trace &t, const OpShape &s, BasicOp tag = BasicOp::HAdd);
+void emit_pmult(Trace &t, const OpShape &s, BasicOp tag = BasicOp::PMult);
+void emit_cmult(Trace &t, const OpShape &s, BasicOp tag = BasicOp::CMult);
+void emit_rescale(Trace &t, const OpShape &s,
+                  BasicOp tag = BasicOp::Rescale);
+void emit_ntt_op(Trace &t, const OpShape &s,
+                 BasicOp tag = BasicOp::NttOnly);
+
+/// Keyswitch of one polynomial already on chip (ModUp + inner products
+/// + ModDown). `standalone` adds operand/result HBM traffic.
+void emit_keyswitch(Trace &t, const OpShape &s, bool standalone = true,
+                    BasicOp tag = BasicOp::Keyswitch);
+
+/// ModUp / ModDown as standalone paper rows.
+void emit_modup(Trace &t, const OpShape &s, BasicOp tag = BasicOp::ModUp);
+void emit_moddown(Trace &t, const OpShape &s,
+                  BasicOp tag = BasicOp::ModDown);
+
+void emit_rotation(Trace &t, const OpShape &s,
+                   BasicOp tag = BasicOp::Rotation);
+
+/// Shape of a full packed bootstrapping invocation.
+struct BootstrapShape
+{
+    OpShape base;          ///< shape at the top of the chain
+    u64 slots = 0;         ///< packed slots (0 => N/2)
+    u64 ctsStages = 3;     ///< factored CoeffToSlot stages
+    u64 stcStages = 3;     ///< factored SlotToCoeff stages
+    u64 evalModCMults = 14;///< ct-ct mults in EvalMod (Taylor + angle)
+    u64 evalModPMults = 4; ///< constant mults in EvalMod
+
+    u64 eff_slots() const { return slots == 0 ? base.n / 2 : slots; }
+};
+
+void emit_bootstrap(Trace &t, const BootstrapShape &bs,
+                    BasicOp tag = BasicOp::Bootstrapping);
+
+} // namespace poseidon::isa
+
+#endif // POSEIDON_ISA_COMPILER_H_

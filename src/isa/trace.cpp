@@ -1,0 +1,113 @@
+#include "isa/trace.h"
+
+#include "common/logging.h"
+
+namespace poseidon::isa {
+
+const char*
+to_string(OpKind k)
+{
+    switch (k) {
+      case OpKind::MA: return "MA";
+      case OpKind::MM: return "MM";
+      case OpKind::NTT: return "NTT";
+      case OpKind::INTT: return "INTT";
+      case OpKind::AUTO: return "Auto";
+      case OpKind::SBT: return "SBT";
+      case OpKind::HBM_RD: return "HBM_RD";
+      case OpKind::HBM_WR: return "HBM_WR";
+    }
+    return "?";
+}
+
+const char*
+to_string(BasicOp b)
+{
+    switch (b) {
+      case BasicOp::HAdd: return "HAdd";
+      case BasicOp::PMult: return "PMult";
+      case BasicOp::CMult: return "CMult";
+      case BasicOp::Rescale: return "Rescale";
+      case BasicOp::ModUp: return "ModUp";
+      case BasicOp::ModDown: return "ModDown";
+      case BasicOp::Keyswitch: return "Keyswitch";
+      case BasicOp::Rotation: return "Rotation";
+      case BasicOp::Conjugate: return "Conjugate";
+      case BasicOp::NttOnly: return "NTT";
+      case BasicOp::Bootstrapping: return "Bootstrapping";
+      case BasicOp::Other: return "Other";
+    }
+    return "?";
+}
+
+OpCounts&
+OpCounts::operator+=(const OpCounts &o)
+{
+    for (std::size_t i = 0; i < elems.size(); ++i) elems[i] += o.elems[i];
+    return *this;
+}
+
+u64
+OpCounts::hbm_words() const
+{
+    return (*this)[OpKind::HBM_RD] + (*this)[OpKind::HBM_WR];
+}
+
+u64
+OpCounts::compute_elems() const
+{
+    u64 total = 0;
+    for (std::size_t i = 0; i < elems.size(); ++i) total += elems[i];
+    return total - hbm_words();
+}
+
+void
+Trace::emit(OpKind kind, u64 elems, u64 degree, BasicOp tag)
+{
+    if (elems == 0) return;
+    instrs_.push_back(Instr{kind, elems, degree, tag});
+}
+
+void
+Trace::append(const Trace &o)
+{
+    instrs_.insert(instrs_.end(), o.instrs_.begin(), o.instrs_.end());
+}
+
+void
+Trace::repeat(u64 times)
+{
+    POSEIDON_REQUIRE(times >= 1, "Trace::repeat: times must be >= 1");
+    std::vector<Instr> base = instrs_;
+    instrs_.reserve(base.size() * times);
+    for (u64 i = 1; i < times; ++i) {
+        instrs_.insert(instrs_.end(), base.begin(), base.end());
+    }
+}
+
+OpCounts
+Trace::totals() const
+{
+    OpCounts c;
+    for (const auto &in : instrs_) c[in.kind] += in.elems;
+    return c;
+}
+
+std::map<BasicOp, OpCounts>
+Trace::totals_by_tag() const
+{
+    std::map<BasicOp, OpCounts> m;
+    for (const auto &in : instrs_) m[in.tag][in.kind] += in.elems;
+    return m;
+}
+
+bool
+Trace::uses(BasicOp b, OpKind k) const
+{
+    for (const auto &in : instrs_) {
+        if (in.tag == b && in.kind == k && in.elems > 0) return true;
+    }
+    return false;
+}
+
+} // namespace poseidon::isa

@@ -1,0 +1,72 @@
+#ifndef POSEIDON_ISA_TRACE_H_
+#define POSEIDON_ISA_TRACE_H_
+
+/**
+ * @file
+ * Operator instruction traces and their aggregate statistics.
+ *
+ * A Trace is the unit of work handed to the hardware simulator. The
+ * statistics view answers the paper's analysis questions directly:
+ * which operators a basic operation uses (Table I), how the element
+ * counts split across operators (Fig. 7), and how much HBM traffic an
+ * operation generates.
+ */
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "isa/op.h"
+
+namespace poseidon::isa {
+
+/// Element counts per operator kind.
+struct OpCounts
+{
+    std::array<u64, 8> elems = {}; ///< indexed by OpKind
+
+    u64& operator[](OpKind k) { return elems[static_cast<int>(k)]; }
+    u64 operator[](OpKind k) const { return elems[static_cast<int>(k)]; }
+
+    OpCounts& operator+=(const OpCounts &o);
+
+    /// Total words moved through HBM.
+    u64 hbm_words() const;
+
+    /// Total compute elements (everything except HBM transfers).
+    u64 compute_elems() const;
+};
+
+/// A sequence of operator instructions.
+class Trace
+{
+  public:
+    void emit(OpKind kind, u64 elems, u64 degree, BasicOp tag);
+
+    /// Append another trace.
+    void append(const Trace &o);
+
+    /// Repeat this trace's contents `times` times (in place).
+    void repeat(u64 times);
+
+    const std::vector<Instr>& instrs() const { return instrs_; }
+    bool empty() const { return instrs_.empty(); }
+    std::size_t size() const { return instrs_.size(); }
+
+    /// Aggregate element counts over the whole trace.
+    OpCounts totals() const;
+
+    /// Aggregate element counts per basic-operation tag.
+    std::map<BasicOp, OpCounts> totals_by_tag() const;
+
+    /// True iff the trace contains at least one instruction of `k`
+    /// under tag `b` — reproduces the checkmarks of Table I.
+    bool uses(BasicOp b, OpKind k) const;
+
+  private:
+    std::vector<Instr> instrs_;
+};
+
+} // namespace poseidon::isa
+
+#endif // POSEIDON_ISA_TRACE_H_

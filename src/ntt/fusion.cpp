@@ -1,0 +1,219 @@
+#include "ntt/fusion.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+namespace {
+
+inline u64
+mul_shoup(u64 a, u64 w, u64 wshoup, u64 q)
+{
+    u64 hi = static_cast<u64>((u128(a) * wshoup) >> 64);
+    u64 r = a * w - hi * q;
+    return r >= q ? r - q : r;
+}
+
+} // namespace
+
+NttFused::NttFused(const NttTable &table, unsigned k)
+    : table_(table), k_(k)
+{
+    POSEIDON_REQUIRE(k >= 1 && k <= 6, "NttFused: k must be in [1,6]");
+}
+
+void
+NttFused::forward(u64 *a) const
+{
+    const u64 q = table_.modulus();
+    const std::size_t n = table_.degree();
+    const unsigned logn = table_.log_degree();
+    const auto &psi = table_.psi_br();
+    const auto &psiS = table_.psi_br_shoup();
+
+    // Local block buffer; max radix 2^6.
+    std::array<u64, 64> local;
+
+    for (unsigned s0 = 0; s0 < logn; s0 += k_) {
+        unsigned kk = std::min(k_, logn - s0);
+        std::size_t bs = std::size_t(1) << kk;    // local block size
+        std::size_t T = n >> (s0 + kk);           // gather stride
+        std::size_t blockLen = n >> s0;           // outer block length
+        std::size_t outerCount = std::size_t(1) << s0;
+
+        ++stats_.phases;
+        for (std::size_t outer = 0; outer < outerCount; ++outer) {
+            std::size_t base = outer * blockLen;
+            for (std::size_t j = 0; j < T; ++j) {
+                // Gather 2^kk strided operands (one fused TAM block).
+                for (std::size_t x = 0; x < bs; ++x) {
+                    local[x] = a[base + j + x * T];
+                }
+                ++stats_.fusedBlocks;
+                // Apply kk stages of butterflies in registers.
+                for (unsigned ss = 0; ss < kk; ++ss) {
+                    std::size_t half = bs >> (ss + 1);    // partner distance
+                    std::size_t mGlob = std::size_t(1) << (s0 + ss);
+                    for (std::size_t x = 0; x < bs; ++x) {
+                        if (x & half) continue;  // only group leaders
+                        std::size_t iGlob =
+                            (outer << ss) + (x >> (kk - ss));
+                        u64 w = psi[mGlob + iGlob];
+                        u64 ws = psiS[mGlob + iGlob];
+                        u64 u = local[x];
+                        u64 v = mul_shoup(local[x + half], w, ws, q);
+                        local[x] = add_mod(u, v, q);
+                        local[x + half] = sub_mod(u, v, q);
+                        ++stats_.butterflies;
+                        ++stats_.twiddleMuls;
+                    }
+                }
+                // Scatter back.
+                for (std::size_t x = 0; x < bs; ++x) {
+                    a[base + j + x * T] = local[x];
+                }
+            }
+        }
+    }
+}
+
+void
+NttFused::inverse(u64 *a) const
+{
+    const u64 q = table_.modulus();
+    const std::size_t n = table_.degree();
+    const unsigned logn = table_.log_degree();
+    const auto &ipsi = table_.ipsi_br();
+    const auto &ipsiS = table_.ipsi_br_shoup();
+
+    std::array<u64, 64> local;
+
+    // Gentleman-Sande stages s = 0..logn-1 (partner distance 2^s),
+    // grouped in chunks of k, mirroring forward().
+    for (unsigned s0 = 0; s0 < logn; s0 += k_) {
+        unsigned kk = std::min(k_, logn - s0);
+        std::size_t bs = std::size_t(1) << kk;
+        std::size_t T = std::size_t(1) << s0;       // gather stride
+        std::size_t blockLen = T << kk;             // outer block length
+        std::size_t outerCount = n / blockLen;
+
+        ++stats_.phases;
+        for (std::size_t outer = 0; outer < outerCount; ++outer) {
+            std::size_t base = outer * blockLen;
+            for (std::size_t j = 0; j < T; ++j) {
+                for (std::size_t x = 0; x < bs; ++x) {
+                    local[x] = a[base + j + x * T];
+                }
+                ++stats_.fusedBlocks;
+                for (unsigned ss = 0; ss < kk; ++ss) {
+                    std::size_t half = std::size_t(1) << ss;
+                    std::size_t hGlob = n >> (s0 + ss + 1);
+                    for (std::size_t x = 0; x < bs; ++x) {
+                        if (x & half) continue;
+                        std::size_t iGlob =
+                            (outer << (kk - ss - 1)) + (x >> (ss + 1));
+                        u64 w = ipsi[hGlob + iGlob];
+                        u64 ws = ipsiS[hGlob + iGlob];
+                        u64 u = local[x];
+                        u64 v = local[x + half];
+                        local[x] = add_mod(u, v, q);
+                        local[x + half] =
+                            mul_shoup(sub_mod(u, v, q), w, ws, q);
+                        ++stats_.butterflies;
+                        ++stats_.twiddleMuls;
+                    }
+                }
+                for (std::size_t x = 0; x < bs; ++x) {
+                    a[base + j + x * T] = local[x];
+                }
+            }
+        }
+    }
+    u64 ni = table_.n_inv();
+    u64 nis = table_.n_inv_shoup();
+    for (std::size_t t = 0; t < n; ++t) {
+        a[t] = mul_shoup(a[t], ni, nis, q);
+    }
+}
+
+u64
+FusionCostModel::twiddles_unfused() const
+{
+    return u64(1) << (k - 1);
+}
+
+u64
+FusionCostModel::twiddles_fused() const
+{
+    // Table II of the paper for k in [2,6]; k=1 degenerates to 1.
+    switch (k) {
+      case 1: return 1;
+      case 2: return 2;
+      case 3: return 5;
+      case 4: return 13;
+      case 5: return 34;
+      case 6: return 85;
+      default:
+        POSEIDON_REQUIRE(false, "FusionCostModel: k out of range [1,6]");
+        return 0;
+    }
+}
+
+u64
+FusionCostModel::mult_unfused() const
+{
+    return u64(k) << k; // k * 2^k
+}
+
+u64
+FusionCostModel::mult_fused() const
+{
+    u64 bs = u64(1) << k;
+    return (bs - 1) * bs;
+}
+
+u64
+FusionCostModel::modred_unfused() const
+{
+    return u64(k) << k;
+}
+
+u64
+FusionCostModel::modred_fused() const
+{
+    return u64(1) << k;
+}
+
+u64
+FusionCostModel::phases(std::size_t n, unsigned k)
+{
+    unsigned logn = log2_floor(n);
+    return (logn + k - 1) / k;
+}
+
+u64
+AccessPattern::stride(unsigned iteration) const
+{
+    POSEIDON_REQUIRE(iteration >= 1, "AccessPattern: iteration is 1-based");
+    return u64(1) << (k * (iteration - 1));
+}
+
+std::vector<u64>
+AccessPattern::first_block(unsigned iteration) const
+{
+    u64 s = stride(iteration);
+    std::size_t bs = std::size_t(1) << k;
+    std::vector<u64> idx(bs);
+    for (std::size_t x = 0; x < bs; ++x) idx[x] = x * s;
+    return idx;
+}
+
+unsigned
+AccessPattern::iterations() const
+{
+    return static_cast<unsigned>(FusionCostModel::phases(n, k));
+}
+
+} // namespace poseidon

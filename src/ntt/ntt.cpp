@@ -1,0 +1,119 @@
+#include "ntt/ntt.h"
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+namespace {
+
+/// Shoup multiplication with inlined constants (hot path).
+inline u64
+mul_shoup(u64 a, u64 w, u64 wshoup, u64 q)
+{
+    u64 hi = static_cast<u64>((u128(a) * wshoup) >> 64);
+    u64 r = a * w - hi * q;
+    return r >= q ? r - q : r;
+}
+
+} // namespace
+
+NttTable::NttTable(std::size_t n, u64 q)
+    : n_(n), logn_(log2_floor(n)), q_(q)
+{
+    POSEIDON_REQUIRE(is_pow2(n) && n >= 2, "NttTable: N must be 2^k >= 2");
+    POSEIDON_REQUIRE((q - 1) % (2 * n) == 0, "NttTable: q != 1 mod 2N");
+
+    u64 psi = find_nth_root(2 * n, q);
+    u64 ipsi = inv_mod(psi, q);
+
+    psiBr_.resize(n);
+    psiBrShoup_.resize(n);
+    ipsiBr_.resize(n);
+    ipsiBrShoup_.resize(n);
+
+    // Powers in bit-reversed index order.
+    std::vector<u64> pow(n), ipow(n);
+    pow[0] = 1;
+    ipow[0] = 1;
+    for (std::size_t i = 1; i < n; ++i) {
+        pow[i] = mul_mod(pow[i - 1], psi, q);
+        ipow[i] = mul_mod(ipow[i - 1], ipsi, q);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t r = bit_reverse(i, logn_);
+        psiBr_[i] = pow[r];
+        ipsiBr_[i] = ipow[r];
+        psiBrShoup_[i] = static_cast<u64>((u128(psiBr_[i]) << 64) / q);
+        ipsiBrShoup_[i] = static_cast<u64>((u128(ipsiBr_[i]) << 64) / q);
+    }
+    nInv_ = inv_mod(static_cast<u64>(n % q), q);
+    nInvShoup_ = static_cast<u64>((u128(nInv_) << 64) / q);
+}
+
+void
+NttTable::forward(u64 *a) const
+{
+    const u64 q = q_;
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            std::size_t j1 = 2 * i * t;
+            u64 w = psiBr_[m + i];
+            u64 ws = psiBrShoup_[m + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                u64 u = a[j];
+                u64 v = mul_shoup(a[j + t], w, ws, q);
+                a[j] = add_mod(u, v, q);
+                a[j + t] = sub_mod(u, v, q);
+            }
+        }
+    }
+}
+
+void
+NttTable::inverse(u64 *a) const
+{
+    const u64 q = q_;
+    std::size_t t = 1;
+    for (std::size_t m = n_; m > 1; m >>= 1) {
+        std::size_t j1 = 0;
+        std::size_t h = m >> 1;
+        for (std::size_t i = 0; i < h; ++i) {
+            u64 w = ipsiBr_[h + i];
+            u64 ws = ipsiBrShoup_[h + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                u64 u = a[j];
+                u64 v = a[j + t];
+                a[j] = add_mod(u, v, q);
+                a[j + t] = mul_shoup(sub_mod(u, v, q), w, ws, q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+        a[j] = mul_shoup(a[j], nInv_, nInvShoup_, q);
+    }
+}
+
+void
+negacyclic_mul_naive(const u64 *a, const u64 *b, u64 *out, std::size_t n,
+                     u64 q)
+{
+    for (std::size_t k = 0; k < n; ++k) out[k] = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] == 0) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+            u64 p = mul_mod(a[i], b[j], q);
+            std::size_t k = i + j;
+            if (k < n) {
+                out[k] = add_mod(out[k], p, q);
+            } else {
+                out[k - n] = sub_mod(out[k - n], p, q);
+            }
+        }
+    }
+}
+
+} // namespace poseidon

@@ -1,0 +1,79 @@
+#ifndef POSEIDON_NTT_NTT_H_
+#define POSEIDON_NTT_NTT_H_
+
+/**
+ * @file
+ * Negacyclic Number Theoretic Transform over Z_q[X]/(X^N+1).
+ *
+ * This is the reference operator that Poseidon's 64 x 8-input NTT cores
+ * implement in hardware. The forward transform is the merged-psi
+ * Cooley-Tukey (decimation in time) iteration and the inverse is the
+ * matching Gentleman-Sande iteration (Longa-Naehrig style), so no
+ * separate pre/post-multiplication by psi powers is needed.
+ *
+ * Forward input is in natural order and output in bit-reversed order;
+ * the inverse consumes bit-reversed order and restores natural order.
+ * All element-wise products are valid in either order as long as both
+ * operands use the same one, which is how the library uses it.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/modmath.h"
+
+namespace poseidon {
+
+/// Precomputed twiddle tables for one (N, q) pair.
+class NttTable
+{
+  public:
+    /**
+     * Build tables for ring degree n (power of two) and prime modulus q
+     * with q == 1 (mod 2n).
+     */
+    NttTable(std::size_t n, u64 q);
+
+    std::size_t degree() const { return n_; }
+    u64 modulus() const { return q_; }
+
+    /// In-place forward negacyclic NTT (natural -> bit-reversed order).
+    void forward(u64 *a) const;
+
+    /// In-place inverse negacyclic NTT (bit-reversed -> natural order).
+    void inverse(u64 *a) const;
+
+    /// psi^bitrev(i) twiddle table (exposed for the fused NTT kernels).
+    const std::vector<u64>& psi_br() const { return psiBr_; }
+    const std::vector<u64>& psi_br_shoup() const { return psiBrShoup_; }
+
+    /// Inverse twiddle tables and N^{-1} (for the fused inverse NTT).
+    const std::vector<u64>& ipsi_br() const { return ipsiBr_; }
+    const std::vector<u64>& ipsi_br_shoup() const { return ipsiBrShoup_; }
+    u64 n_inv() const { return nInv_; }
+    u64 n_inv_shoup() const { return nInvShoup_; }
+
+    unsigned log_degree() const { return logn_; }
+
+  private:
+    std::size_t n_;
+    unsigned logn_;
+    u64 q_;
+    std::vector<u64> psiBr_;       ///< psi^bitrev(i)
+    std::vector<u64> psiBrShoup_;  ///< Shoup precomputation of psiBr_
+    std::vector<u64> ipsiBr_;      ///< psi^{-bitrev(i)}
+    std::vector<u64> ipsiBrShoup_;
+    u64 nInv_;
+    u64 nInvShoup_;
+};
+
+/**
+ * Schoolbook negacyclic convolution, O(n^2); ground truth for tests.
+ * out = a * b over Z_q[X]/(X^n+1).
+ */
+void negacyclic_mul_naive(const u64 *a, const u64 *b, u64 *out,
+                          std::size_t n, u64 q);
+
+} // namespace poseidon
+
+#endif // POSEIDON_NTT_NTT_H_

@@ -1,0 +1,88 @@
+#include "poly/automorphism.h"
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+void
+automorphism_coeff_limb(const u64 *in, u64 *out, std::size_t n, u64 g,
+                        u64 q)
+{
+    POSEIDON_REQUIRE(g % 2 == 1, "automorphism: galois element must be odd");
+    const u64 twoN = 2 * static_cast<u64>(n);
+    u64 pos = 0; // t*g mod 2N, updated incrementally
+    for (std::size_t t = 0; t < n; ++t) {
+        u64 idx = pos;
+        if (idx < n) {
+            out[idx] = in[t];
+        } else {
+            out[idx - n] = neg_mod(in[t], q);
+        }
+        pos += g;
+        if (pos >= twoN) pos -= twoN;
+    }
+}
+
+std::vector<u32>
+make_eval_permutation(std::size_t n, u64 g)
+{
+    POSEIDON_REQUIRE(g % 2 == 1, "automorphism: galois element must be odd");
+    unsigned logn = log2_floor(n);
+    const u64 twoN = 2 * static_cast<u64>(n);
+    std::vector<u32> perm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Output slot rev(i) holds the evaluation at psi^{(2i+1)g}.
+        u64 e = ((2 * static_cast<u64>(i) + 1) * g) % twoN;
+        u64 srcNat = (e - 1) / 2;
+        perm[bit_reverse(i, logn)] =
+            static_cast<u32>(bit_reverse(srcNat, logn));
+    }
+    return perm;
+}
+
+void
+automorphism_eval_limb(const u64 *in, u64 *out, std::size_t n,
+                       const std::vector<u32> &perm)
+{
+    for (std::size_t i = 0; i < n; ++i) out[i] = in[perm[i]];
+}
+
+RnsPoly
+automorphism(const RnsPoly &p, u64 g)
+{
+    RnsPoly out = p; // copies shape; we overwrite data below
+    std::size_t n = p.degree();
+    if (p.domain() == Domain::Coeff) {
+        for (std::size_t k = 0; k < p.num_limbs(); ++k) {
+            automorphism_coeff_limb(p.limb(k), out.limb(k), n, g,
+                                    p.prime(k));
+        }
+    } else {
+        std::vector<u32> perm = make_eval_permutation(n, g);
+        for (std::size_t k = 0; k < p.num_limbs(); ++k) {
+            automorphism_eval_limb(p.limb(k), out.limb(k), n, perm);
+        }
+    }
+    return out;
+}
+
+u64
+galois_element_for_step(std::size_t n, long step)
+{
+    const u64 twoN = 2 * static_cast<u64>(n);
+    // Positive rotation r -> 5^r, negative -> inverse.
+    std::size_t slots = n / 2;
+    long r = step % static_cast<long>(slots);
+    if (r < 0) r += static_cast<long>(slots);
+    u64 g = 1;
+    for (long i = 0; i < r; ++i) g = (g * 5) % twoN;
+    return g;
+}
+
+u64
+galois_element_conjugate(std::size_t n)
+{
+    return 2 * static_cast<u64>(n) - 1;
+}
+
+} // namespace poseidon

@@ -1,0 +1,58 @@
+#ifndef POSEIDON_POLY_AUTOMORPHISM_H_
+#define POSEIDON_POLY_AUTOMORPHISM_H_
+
+/**
+ * @file
+ * Galois automorphisms of the negacyclic ring: tau_g : X -> X^g for odd
+ * g coprime to 2N. Rotation of CKKS slots by r steps is tau_{5^r};
+ * complex conjugation is tau_{2N-1}.
+ *
+ * Two implementations are provided:
+ *  - the coefficient-domain signed index map of Eq. (4) of the paper
+ *    (reference; HFAuto in hfauto.h is the hardware-shaped version);
+ *  - an evaluation-domain permutation for limbs already in NTT form
+ *    (bit-reversed layout), which needs no sign fixups because point
+ *    values absorb them.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "poly/poly.h"
+
+namespace poseidon {
+
+/**
+ * Coefficient-domain automorphism of one limb:
+ * out[(t*g mod N)] = +-in[t], with negation when t*g mod 2N >= N.
+ * in and out must not alias.
+ */
+void automorphism_coeff_limb(const u64 *in, u64 *out, std::size_t n,
+                             u64 g, u64 q);
+
+/**
+ * Build the evaluation-domain permutation for tau_g under the
+ * bit-reversed NTT layout: out[i] = in[perm[i]].
+ */
+std::vector<u32> make_eval_permutation(std::size_t n, u64 g);
+
+/// Apply a precomputed evaluation-domain permutation to one limb.
+void automorphism_eval_limb(const u64 *in, u64 *out, std::size_t n,
+                            const std::vector<u32> &perm);
+
+/**
+ * Apply tau_g to a whole polynomial in its current domain.
+ * Coefficient domain uses the signed map; Eval domain uses the
+ * point-value permutation. Returns a new polynomial.
+ */
+RnsPoly automorphism(const RnsPoly &p, u64 g);
+
+/// Galois element for a rotation by `step` slots (5^step mod 2N).
+u64 galois_element_for_step(std::size_t n, long step);
+
+/// Galois element for complex conjugation (2N - 1).
+u64 galois_element_conjugate(std::size_t n);
+
+} // namespace poseidon
+
+#endif // POSEIDON_POLY_AUTOMORPHISM_H_

@@ -1,0 +1,94 @@
+#include "poly/hfauto.h"
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+HFAuto::HFAuto(std::size_t n, std::size_t c)
+    : n_(n), c_(c), r_(n / c)
+{
+    POSEIDON_REQUIRE(is_pow2(n), "HFAuto: N must be a power of two");
+    POSEIDON_REQUIRE(is_pow2(c) && c <= n,
+                     "HFAuto: C must be a power of two <= N");
+}
+
+void
+HFAuto::apply_limb(const u64 *in, u64 *out, u64 g, u64 q) const
+{
+    POSEIDON_REQUIRE(g % 2 == 1, "HFAuto: galois element must be odd");
+    const std::size_t C = c_, R = r_, N = n_;
+    const u64 twoN = 2 * static_cast<u64>(N);
+    g %= twoN;
+
+    ++stats_.invocations;
+
+    // Per-column precomputation: J(j) = j*g mod C and the extra row
+    // shift A(j) = floor(j*g / C) mod R.
+    std::vector<std::size_t> colMap(C), rowShift(C);
+    for (std::size_t j = 0; j < C; ++j) {
+        u64 jg = static_cast<u64>(j) * g;
+        colMap[j] = static_cast<std::size_t>(jg % C);
+        rowShift[j] = static_cast<std::size_t>((jg / C) % R);
+    }
+
+    std::vector<u64> m1(N), m2(N), m3(N);
+
+    // Stage 1: row permutation row_i -> row_{i*g mod R}, applying the
+    // negacyclic sign of Eq. (4) while reading.
+    for (std::size_t i = 0; i < R; ++i) {
+        std::size_t dstRow = static_cast<std::size_t>(
+            (static_cast<u64>(i) * g) % R);
+        const u64 *src = in + i * C;
+        u64 *dst = m1.data() + dstRow * C;
+        u64 pos = (static_cast<u64>(i) * C % twoN) * g % twoN; // idx*g mod 2N
+        for (std::size_t j = 0; j < C; ++j) {
+            dst[j] = pos >= N ? neg_mod(src[j], q) : src[j];
+            pos += g;
+            if (pos >= twoN) pos -= twoN;
+        }
+        stats_.stageSubvecOps[0] += 2; // one sub-vector read + write
+    }
+
+    // Stage 2: cyclic shift inside each column's FIFO by A(j).
+    for (std::size_t rrow = 0; rrow < R; ++rrow) {
+        for (std::size_t j = 0; j < C; ++j) {
+            std::size_t dstRow = rrow + rowShift[j];
+            if (dstRow >= R) dstRow -= R;
+            m2[dstRow * C + j] = m1[rrow * C + j];
+        }
+        stats_.stageSubvecOps[1] += 2;
+    }
+
+    // Stage 3: dimension switch — materialize column-major access so
+    // Stage 4 can operate on whole columns (models the BRAM re-layout).
+    for (std::size_t j = 0; j < C; ++j) {
+        for (std::size_t rrow = 0; rrow < R; ++rrow) {
+            m3[j * R + rrow] = m2[rrow * C + j];
+        }
+    }
+    stats_.stageSubvecOps[2] += 2 * R;
+
+    // Stage 4: column permutation col_j -> col_{j*g mod C}.
+    for (std::size_t j = 0; j < C; ++j) {
+        std::size_t dstCol = colMap[j];
+        for (std::size_t rrow = 0; rrow < R; ++rrow) {
+            out[rrow * C + dstCol] = m3[j * R + rrow];
+        }
+        stats_.stageSubvecOps[3] += 2;
+    }
+}
+
+RnsPoly
+HFAuto::apply(const RnsPoly &p, u64 g) const
+{
+    POSEIDON_REQUIRE(p.domain() == Domain::Coeff,
+                     "HFAuto::apply: polynomial must be in Coeff domain");
+    POSEIDON_REQUIRE(p.degree() == n_, "HFAuto::apply: degree mismatch");
+    RnsPoly out = p;
+    for (std::size_t k = 0; k < p.num_limbs(); ++k) {
+        apply_limb(p.limb(k), out.limb(k), g, p.prime(k));
+    }
+    return out;
+}
+
+} // namespace poseidon

@@ -1,0 +1,74 @@
+#ifndef POSEIDON_POLY_HFAUTO_H_
+#define POSEIDON_POLY_HFAUTO_H_
+
+/**
+ * @file
+ * HFAuto — the hardware-friendly automorphism of Section III-B.
+ *
+ * The N-element coefficient vector is viewed as an R x C matrix
+ * (R = N/C segments of C-element sub-vectors; C = 512 in the paper's
+ * implementation). Using the lemma
+ *     floor((a mod C*R) / C) = floor(a / C) mod R,
+ * the index map  idx -> idx*g mod N  factors into
+ *     I = (i*g + floor(j*g / C)) mod R      (row coordinate)
+ *     J = (j*g) mod C                       (column coordinate)
+ * which the hardware realizes in four pipeline stages:
+ *   Stage 1: row permutation        row_i -> row_{i*g mod R}
+ *   Stage 2: per-column row shift   by floor(j*g / C) mod R (FIFO shifts)
+ *   Stage 3: dimension switch       (row-major -> column-major access)
+ *   Stage 4: column permutation     col_j -> col_{j*g mod C}
+ * Negacyclic signs (Eq. 4) are applied while reading in Stage 1.
+ *
+ * `HFAuto::apply_limb` executes the four stages with explicit
+ * intermediate buffers and is verified bit-exact against the reference
+ * `automorphism_coeff_limb`.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "poly/poly.h"
+
+namespace poseidon {
+
+/// Per-stage counters for the hardware model and tests.
+struct HFAutoStats
+{
+    u64 invocations = 0;
+    /// Sub-vector (length-C) reads+writes issued by each stage.
+    u64 stageSubvecOps[4] = {0, 0, 0, 0};
+};
+
+/// Four-stage sub-vector automorphism engine.
+class HFAuto
+{
+  public:
+    /**
+     * @param n  polynomial degree N (power of two)
+     * @param c  sub-vector length C (power of two, divides N);
+     *           the paper uses C = 512
+     */
+    HFAuto(std::size_t n, std::size_t c = 512);
+
+    std::size_t sub_vector_len() const { return c_; }
+    std::size_t num_segments() const { return r_; }
+
+    /// Apply tau_g to one coefficient-domain limb (in != out).
+    void apply_limb(const u64 *in, u64 *out, u64 g, u64 q) const;
+
+    /// Apply tau_g to every limb of a coefficient-domain polynomial.
+    RnsPoly apply(const RnsPoly &p, u64 g) const;
+
+    const HFAutoStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+  private:
+    std::size_t n_;
+    std::size_t c_;  ///< sub-vector length C
+    std::size_t r_;  ///< number of segments R = N/C
+    mutable HFAutoStats stats_;
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_POLY_HFAUTO_H_

@@ -1,0 +1,51 @@
+#include "poly/ring.h"
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+RingContext::RingContext(std::size_t n, std::vector<u64> primes,
+                         std::size_t numSpecial)
+    : n_(n), logn_(log2_floor(n)), primes_(std::move(primes)),
+      numSpecial_(numSpecial)
+{
+    POSEIDON_REQUIRE(is_pow2(n), "RingContext: N must be a power of two");
+    POSEIDON_REQUIRE(!primes_.empty(), "RingContext: empty prime chain");
+    POSEIDON_REQUIRE(numSpecial_ < primes_.size(),
+                     "RingContext: need at least one ciphertext prime");
+
+    tables_.reserve(primes_.size());
+    barrett_.reserve(primes_.size());
+    for (u64 q : primes_) {
+        tables_.emplace_back(n_, q);
+        barrett_.emplace_back(q);
+    }
+
+    std::size_t numCt = num_ct_primes();
+    ctBases_.reserve(numCt);
+    for (std::size_t l = 0; l < numCt; ++l) {
+        ctBases_.emplace_back(std::vector<u64>(primes_.begin(),
+                                               primes_.begin() + l + 1));
+    }
+    if (numSpecial_ > 0) {
+        specialBasis_ = RnsBasis(std::vector<u64>(primes_.end() - numSpecial_,
+                                                  primes_.end()));
+    }
+}
+
+const RnsBasis&
+RingContext::ct_basis(std::size_t count) const
+{
+    POSEIDON_REQUIRE(count >= 1 && count <= ctBases_.size(),
+                     "RingContext::ct_basis: bad count");
+    return ctBases_[count - 1];
+}
+
+const RnsBasis&
+RingContext::special_basis() const
+{
+    POSEIDON_REQUIRE(numSpecial_ > 0, "RingContext: no special primes");
+    return specialBasis_;
+}
+
+} // namespace poseidon

@@ -1,0 +1,76 @@
+#ifndef POSEIDON_POLY_RING_H_
+#define POSEIDON_POLY_RING_H_
+
+/**
+ * @file
+ * RingContext: shared, immutable per-(N, prime-chain) tables.
+ *
+ * One context owns the NTT tables and Barrett constants for every prime
+ * in the modulus chain (ciphertext primes first, then the special
+ * keyswitching primes). Polynomials reference the context and say which
+ * primes they are defined over, so level drops and base extensions are
+ * just index bookkeeping.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ntt/ntt.h"
+#include "rns/basis.h"
+
+namespace poseidon {
+
+/// Immutable tables for a fixed ring degree and prime chain.
+class RingContext
+{
+  public:
+    /**
+     * @param n            ring degree (power of two)
+     * @param primes       full modulus chain, ciphertext primes first
+     * @param numSpecial   how many trailing primes are keyswitch primes
+     */
+    RingContext(std::size_t n, std::vector<u64> primes,
+                std::size_t numSpecial = 0);
+
+    std::size_t degree() const { return n_; }
+    unsigned log_degree() const { return logn_; }
+
+    /// Total primes in the chain (ciphertext + special).
+    std::size_t num_primes() const { return primes_.size(); }
+
+    /// Number of ciphertext (non-special) primes.
+    std::size_t num_ct_primes() const { return primes_.size() - numSpecial_; }
+
+    /// Number of special (keyswitch) primes.
+    std::size_t num_special_primes() const { return numSpecial_; }
+
+    u64 prime(std::size_t i) const { return primes_[i]; }
+
+    const NttTable& table(std::size_t i) const { return tables_[i]; }
+
+    const Barrett64& barrett(std::size_t i) const { return barrett_[i]; }
+
+    /// RNS basis over ciphertext primes [0, count).
+    const RnsBasis& ct_basis(std::size_t count) const;
+
+    /// RNS basis over all special primes.
+    const RnsBasis& special_basis() const;
+
+  private:
+    std::size_t n_;
+    unsigned logn_;
+    std::vector<u64> primes_;
+    std::size_t numSpecial_;
+    std::vector<NttTable> tables_;
+    std::vector<Barrett64> barrett_;
+    /// ctBases_[l] = basis over primes [0, l+1)
+    std::vector<RnsBasis> ctBases_;
+    RnsBasis specialBasis_;
+};
+
+using RingContextPtr = std::shared_ptr<const RingContext>;
+
+} // namespace poseidon
+
+#endif // POSEIDON_POLY_RING_H_

@@ -1,0 +1,134 @@
+#include "rns/bigint.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+BigUInt::BigUInt(u64 v)
+{
+    if (v) limbs_.push_back(v);
+}
+
+void
+BigUInt::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+int
+BigUInt::cmp(const BigUInt &o) const
+{
+    if (limbs_.size() != o.limbs_.size()) {
+        return limbs_.size() < o.limbs_.size() ? -1 : 1;
+    }
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != o.limbs_[i]) {
+            return limbs_[i] < o.limbs_[i] ? -1 : 1;
+        }
+    }
+    return 0;
+}
+
+void
+BigUInt::add(const BigUInt &o)
+{
+    if (o.limbs_.size() > limbs_.size()) limbs_.resize(o.limbs_.size(), 0);
+    u64 carry = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        u128 s = u128(limbs_[i]) + (i < o.limbs_.size() ? o.limbs_[i] : 0)
+               + carry;
+        limbs_[i] = static_cast<u64>(s);
+        carry = static_cast<u64>(s >> 64);
+    }
+    if (carry) limbs_.push_back(carry);
+}
+
+void
+BigUInt::sub(const BigUInt &o)
+{
+    POSEIDON_CHECK(cmp(o) >= 0, "BigUInt::sub underflow");
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        u64 rhs = i < o.limbs_.size() ? o.limbs_[i] : 0;
+        u128 d = u128(limbs_[i]) - rhs - borrow;
+        limbs_[i] = static_cast<u64>(d);
+        borrow = (d >> 64) ? 1 : 0;
+    }
+    trim();
+}
+
+void
+BigUInt::mul_u64(u64 m)
+{
+    if (m == 0 || is_zero()) {
+        limbs_.clear();
+        return;
+    }
+    u64 carry = 0;
+    for (auto &l : limbs_) {
+        u128 p = u128(l) * m + carry;
+        l = static_cast<u64>(p);
+        carry = static_cast<u64>(p >> 64);
+    }
+    if (carry) limbs_.push_back(carry);
+}
+
+void
+BigUInt::shr1()
+{
+    u64 carry = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        u64 next = limbs_[i] & 1;
+        limbs_[i] = (limbs_[i] >> 1) | (carry << 63);
+        carry = next;
+    }
+    trim();
+}
+
+u64
+BigUInt::mod_u64(u64 q) const
+{
+    u128 r = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        r = ((r << 64) | limbs_[i]) % q;
+    }
+    return static_cast<u64>(r);
+}
+
+double
+BigUInt::to_double() const
+{
+    double v = 0.0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        v = v * 0x1.0p64 + static_cast<double>(limbs_[i]);
+    }
+    return v;
+}
+
+std::string
+BigUInt::to_hex() const
+{
+    if (is_zero()) return "0x0";
+    std::string s = "0x";
+    char buf[32];
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        std::snprintf(buf, sizeof(buf),
+                      i + 1 == limbs_.size() ? "%llx" : "%016llx",
+                      static_cast<unsigned long long>(limbs_[i]));
+        s += buf;
+    }
+    return s;
+}
+
+BigUInt
+BigUInt::product(const std::vector<u64> &factors)
+{
+    BigUInt p(1);
+    for (u64 f : factors) p.mul_u64(f);
+    return p;
+}
+
+} // namespace poseidon

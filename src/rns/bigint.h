@@ -1,0 +1,71 @@
+#ifndef POSEIDON_RNS_BIGINT_H_
+#define POSEIDON_RNS_BIGINT_H_
+
+/**
+ * @file
+ * A minimal arbitrary-precision unsigned integer.
+ *
+ * Only the operations needed for CRT composition and centered lifting
+ * are provided: add, subtract, compare, multiply by a 64-bit word,
+ * halving, and conversion to double. This keeps the decoder exact
+ * without pulling in an external bignum dependency.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/modmath.h"
+
+namespace poseidon {
+
+/// Little-endian base-2^64 unsigned big integer.
+class BigUInt
+{
+  public:
+    BigUInt() = default;
+
+    /// Construct from a single 64-bit value.
+    explicit BigUInt(u64 v);
+
+    /// true iff the value is zero.
+    bool is_zero() const { return limbs_.empty(); }
+
+    /// Number of significant 64-bit limbs.
+    std::size_t limb_count() const { return limbs_.size(); }
+
+    /// Three-way compare: -1, 0, +1.
+    int cmp(const BigUInt &o) const;
+
+    /// this += o
+    void add(const BigUInt &o);
+
+    /// this -= o; requires *this >= o.
+    void sub(const BigUInt &o);
+
+    /// this *= m (single 64-bit word).
+    void mul_u64(u64 m);
+
+    /// this >>= 1
+    void shr1();
+
+    /// Value mod a word-size modulus.
+    u64 mod_u64(u64 q) const;
+
+    /// Approximate conversion to double (exact for values < 2^53).
+    double to_double() const;
+
+    /// Hex string, most-significant first (for diagnostics).
+    std::string to_hex() const;
+
+    /// Product of a list of word-sized factors.
+    static BigUInt product(const std::vector<u64> &factors);
+
+  private:
+    void trim();
+    std::vector<u64> limbs_; ///< empty == zero
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_RNS_BIGINT_H_

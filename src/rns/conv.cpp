@@ -1,0 +1,98 @@
+#include "rns/conv.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+RnsConv::RnsConv(const RnsBasis &src, const RnsBasis &dst)
+    : src_(src), dst_(dst)
+{
+    std::size_t ls = src_.size(), ld = dst_.size();
+    qhatMod_.assign(ld, std::vector<u64>(ls));
+    qMod_.resize(ld);
+    qInvDouble_.resize(ls);
+    for (std::size_t j = 0; j < ld; ++j) {
+        u64 p = dst_.modulus(j);
+        for (std::size_t i = 0; i < ls; ++i) {
+            qhatMod_[j][i] = ls == 1 ? 1 % p : src_.qhat(i).mod_u64(p);
+        }
+        qMod_[j] = src_.big_product().mod_u64(p);
+    }
+    for (std::size_t i = 0; i < ls; ++i) {
+        qInvDouble_[i] = 1.0 / static_cast<double>(src_.modulus(i));
+    }
+}
+
+void
+RnsConv::convert(const std::vector<const u64*> &src,
+                 const std::vector<u64*> &dst, std::size_t n,
+                 bool correct) const
+{
+    std::size_t ls = src_.size(), ld = dst_.size();
+    POSEIDON_REQUIRE(src.size() == ls && dst.size() == ld,
+                     "RnsConv::convert: limb count mismatch");
+
+    std::vector<u64> y(ls);
+    for (std::size_t t = 0; t < n; ++t) {
+        double est = 0.0;
+        for (std::size_t i = 0; i < ls; ++i) {
+            y[i] = src_.barrett(i).mul(src[i][t], src_.qhat_inv(i));
+            est += static_cast<double>(y[i]) * qInvDouble_[i];
+        }
+        // Number of whole-Q overflows in sum_i y_i * Qhat_i.
+        u64 e = correct ? static_cast<u64>(std::llround(est)) : 0;
+        for (std::size_t j = 0; j < ld; ++j) {
+            u64 p = dst_.modulus(j);
+            const Barrett64 &br = dst_.barrett(j);
+            u64 acc = 0;
+            for (std::size_t i = 0; i < ls; ++i) {
+                acc = add_mod(acc, br.mul(y[i] % p, qhatMod_[j][i]), p);
+            }
+            if (e) {
+                acc = sub_mod(acc, br.mul(e % p, qMod_[j]), p);
+            }
+            dst[j][t] = acc;
+        }
+    }
+}
+
+ModDown::ModDown(const RnsBasis &qBasis, const RnsBasis &pBasis)
+    : conv_(pBasis, qBasis)
+{
+    pInv_.reserve(qBasis.size());
+    for (std::size_t i = 0; i < qBasis.size(); ++i) {
+        u64 q = qBasis.modulus(i);
+        u64 pmod = pBasis.big_product().mod_u64(q);
+        pInv_.push_back(inv_mod(pmod, q));
+    }
+}
+
+void
+ModDown::apply(const std::vector<const u64*> &xq,
+               const std::vector<const u64*> &xp,
+               const std::vector<u64*> &out, std::size_t n) const
+{
+    const RnsBasis &qb = conv_.dst();
+    std::size_t l = qb.size();
+    POSEIDON_REQUIRE(xq.size() == l && out.size() == l,
+                     "ModDown::apply: limb count mismatch");
+
+    // conv_{p->q}(x_p) into scratch buffers.
+    std::vector<std::vector<u64>> scratch(l, std::vector<u64>(n));
+    std::vector<u64*> scratchPtr(l);
+    for (std::size_t i = 0; i < l; ++i) scratchPtr[i] = scratch[i].data();
+    conv_.convert(xp, scratchPtr, n, /*correct=*/true);
+
+    for (std::size_t i = 0; i < l; ++i) {
+        u64 q = qb.modulus(i);
+        const Barrett64 &br = qb.barrett(i);
+        for (std::size_t t = 0; t < n; ++t) {
+            u64 d = sub_mod(xq[i][t], scratch[i][t], q);
+            out[i][t] = br.mul(d, pInv_[i]);
+        }
+    }
+}
+
+} // namespace poseidon

@@ -1,0 +1,92 @@
+#ifndef POSEIDON_RNS_CONV_H_
+#define POSEIDON_RNS_CONV_H_
+
+/**
+ * @file
+ * Fast RNS base conversion — the paper's `RNSconv` building block
+ * (Eq. 1), plus the ModUp/ModDown coefficient math built from it
+ * (Eqs. 2-3). All functions here operate on coefficient-domain residue
+ * arrays; the NTT round-trips happen in the CKKS layer.
+ *
+ * Poseidon implements RNSconv in hardware by cascading the MA and MM
+ * operator cores (Fig. 4); this file is the functional model those
+ * cores compute.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "rns/basis.h"
+
+namespace poseidon {
+
+/**
+ * Fast base conversion from a source basis {q_i} to a destination
+ * basis {p_j}:
+ *
+ *   conv(x)_j = sum_i [x_i * (Q/q_i)^{-1}]_{q_i} * [Q/q_i]_{p_j}  mod p_j
+ *
+ * The float-correction variant subtracts the estimated overflow
+ * multiple e*Q (HPS-style), producing a value congruent to the
+ * *centered* representative and keeping ModDown noise small.
+ */
+class RnsConv
+{
+  public:
+    RnsConv(const RnsBasis &src, const RnsBasis &dst);
+
+    const RnsBasis& src() const { return src_; }
+    const RnsBasis& dst() const { return dst_; }
+
+    /**
+     * Convert n coefficients. src[i] points at the n residues mod q_i;
+     * dst[j] receives the n residues mod p_j.
+     *
+     * @param correct  apply the floating-point overflow correction
+     */
+    void convert(const std::vector<const u64*> &src,
+                 const std::vector<u64*> &dst, std::size_t n,
+                 bool correct = true) const;
+
+  private:
+    RnsBasis src_;
+    RnsBasis dst_;
+    /// qhatMod_[j][i] = [Q/q_i] mod p_j
+    std::vector<std::vector<u64>> qhatMod_;
+    /// qMod_[j] = Q mod p_j (for overflow correction)
+    std::vector<u64> qMod_;
+    /// 1.0 / q_i for the float overflow estimate
+    std::vector<double> qInvDouble_;
+};
+
+/**
+ * ModDown (Eq. 2): given a polynomial's residues over q-basis and
+ * p-basis (the "special" primes with product P), produce residues over
+ * the q-basis of round(x / P):
+ *
+ *   out_i = (x_i - conv_{p->q}(x_p)_i) * P^{-1}  mod q_i
+ */
+class ModDown
+{
+  public:
+    ModDown(const RnsBasis &qBasis, const RnsBasis &pBasis);
+
+    /**
+     * @param xq   residues over q-basis (size L, each n coefficients)
+     * @param xp   residues over p-basis (size K, each n coefficients)
+     * @param out  output residues over q-basis (size L)
+     */
+    void apply(const std::vector<const u64*> &xq,
+               const std::vector<const u64*> &xp,
+               const std::vector<u64*> &out, std::size_t n) const;
+
+    const RnsConv& conv() const { return conv_; }
+
+  private:
+    RnsConv conv_;          ///< p-basis -> q-basis
+    std::vector<u64> pInv_; ///< P^{-1} mod q_i
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_RNS_CONV_H_

@@ -1,0 +1,35 @@
+#include "rns/primes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace poseidon {
+
+std::vector<u64>
+generate_ntt_primes(std::size_t n, unsigned bits, std::size_t count,
+                    const std::vector<u64> &avoid)
+{
+    POSEIDON_REQUIRE(is_pow2(n), "generate_ntt_primes: N must be 2^k");
+    POSEIDON_REQUIRE(bits >= 20 && bits <= 61,
+                     "generate_ntt_primes: bits out of range [20,61]");
+    u64 step = 2 * static_cast<u64>(n);
+    // Start at the largest value < 2^bits congruent to 1 mod 2N.
+    u64 top = (u64(1) << bits) - 1;
+    u64 candidate = top - (top % step) + 1;
+    if (candidate > top) candidate -= step;
+
+    std::vector<u64> out;
+    while (out.size() < count) {
+        POSEIDON_REQUIRE(candidate > step && candidate > (u64(1) << (bits - 1)),
+                         "generate_ntt_primes: ran out of primes of this size");
+        if (is_prime(candidate) &&
+            std::find(avoid.begin(), avoid.end(), candidate) == avoid.end()) {
+            out.push_back(candidate);
+        }
+        candidate -= step;
+    }
+    return out;
+}
+
+} // namespace poseidon

@@ -1,0 +1,37 @@
+#ifndef POSEIDON_RNS_PRIMES_H_
+#define POSEIDON_RNS_PRIMES_H_
+
+/**
+ * @file
+ * Generation of NTT-friendly primes.
+ *
+ * CKKS over the negacyclic ring Z_q[X]/(X^N+1) needs primes with
+ * q == 1 (mod 2N) so that a primitive 2N-th root of unity exists,
+ * enabling the fully-split NTT that Poseidon's NTT cores compute.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/modmath.h"
+
+namespace poseidon {
+
+/**
+ * Generate `count` distinct primes q == 1 (mod 2N) close to 2^bits.
+ *
+ * Primes are returned largest-first starting just below 2^bits and are
+ * guaranteed distinct from everything in `avoid`.
+ *
+ * @param n      ring degree N (power of two)
+ * @param bits   target bit size (e.g. 32 to match the paper's word width)
+ * @param count  number of primes wanted
+ * @param avoid  primes that must not be returned again
+ */
+std::vector<u64> generate_ntt_primes(std::size_t n, unsigned bits,
+                                     std::size_t count,
+                                     const std::vector<u64> &avoid = {});
+
+} // namespace poseidon
+
+#endif // POSEIDON_RNS_PRIMES_H_

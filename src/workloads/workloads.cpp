@@ -1,0 +1,221 @@
+#include "workloads/workloads.h"
+
+#include <cmath>
+
+namespace poseidon::workloads {
+
+using isa::BasicOp;
+using isa::BootstrapShape;
+using isa::OpShape;
+using isa::Trace;
+
+namespace {
+
+/// Matrix-vector product of dimension `dim` via the diagonal method
+/// with BSGS: ~2*sqrt(dim) rotations + dim PMult + dim-1 HAdd + one
+/// rescale. Charged to the caller's tag.
+void
+emit_matvec(Trace &t, BasicOpCounts &ops, const OpShape &s, u64 dim,
+            BasicOp tag)
+{
+    u64 n1 = static_cast<u64>(
+        std::ceil(std::sqrt(static_cast<double>(dim))));
+    u64 nb = (dim + n1 - 1) / n1;
+    for (u64 g = 1; g < n1; ++g) {
+        isa::emit_rotation(t, s, tag);
+        ops.add(BasicOp::Rotation);
+    }
+    for (u64 d = 0; d < dim; ++d) {
+        isa::emit_pmult(t, s, tag);
+        ops.add(BasicOp::PMult);
+    }
+    for (u64 a = 0; a + 1 < dim; ++a) {
+        isa::emit_hadd(t, s, tag);
+        ops.add(BasicOp::HAdd);
+    }
+    for (u64 b = 1; b < nb; ++b) {
+        isa::emit_rotation(t, s, tag);
+        ops.add(BasicOp::Rotation);
+    }
+    isa::emit_rescale(t, s, tag);
+    ops.add(BasicOp::Rescale);
+}
+
+/// Packed bootstrap with standard knobs; charged to Bootstrapping.
+void
+emit_boot(Trace &t, BasicOpCounts &ops, const OpShape &top, u64 slots,
+          u64 ctsStages = 3, u64 cmults = 14)
+{
+    BootstrapShape bs;
+    bs.base = top;
+    bs.slots = slots;
+    bs.ctsStages = ctsStages;
+    bs.stcStages = ctsStages;
+    bs.evalModCMults = cmults;
+    isa::emit_bootstrap(t, bs);
+    ops.add(BasicOp::Bootstrapping);
+}
+
+} // namespace
+
+isa::OpShape
+paper_shape()
+{
+    OpShape s;
+    s.n = u64(1) << 16;
+    s.limbs = 44;
+    // Benchmarks use hybrid keyswitching with dnum = 4 digit groups
+    // and K = ceil(L/dnum) special primes, the standard configuration
+    // of bootstrapping-capable RNS-CKKS stacks at this depth.
+    s.dnum = 4;
+    s.K = 11;
+    return s;
+}
+
+Workload
+make_lr(const isa::OpShape &top)
+{
+    Workload w;
+    w.name = "LR";
+    w.description =
+        "HELR logistic regression, 10 iterations averaged, L=38 "
+        "multiplicative depth, 2 bootstrapping operations";
+    OpShape s = top;
+    s.limbs = 38;
+
+    for (int iter = 0; iter < 10; ++iter) {
+        // Gradient step: inner products over the feature dimension
+        // (log-rotations), sigmoid approximation (2 CMult), update.
+        for (int r = 0; r < 12; ++r) {
+            isa::emit_rotation(w.trace, s, BasicOp::Rotation);
+            w.ops.add(BasicOp::Rotation);
+        }
+        for (int c = 0; c < 2; ++c) {
+            isa::emit_cmult(w.trace, s, BasicOp::CMult);
+            w.ops.add(BasicOp::CMult);
+        }
+        for (int p = 0; p < 4; ++p) {
+            isa::emit_pmult(w.trace, s, BasicOp::PMult);
+            w.ops.add(BasicOp::PMult);
+        }
+        for (int a = 0; a < 6; ++a) {
+            isa::emit_hadd(w.trace, s, BasicOp::HAdd);
+            w.ops.add(BasicOp::HAdd);
+        }
+        for (int rs = 0; rs < 2; ++rs) {
+            isa::emit_rescale(w.trace, s, BasicOp::Rescale);
+            w.ops.add(BasicOp::Rescale);
+        }
+    }
+    // Two bootstraps across the 10 iterations.
+    emit_boot(w.trace, w.ops, top, /*slots=*/top.n / 2);
+    emit_boot(w.trace, w.ops, top, /*slots=*/top.n / 2);
+    w.bootstrapCount = 2;
+    w.reportDivisor = 10; // the paper reports the per-iteration average
+    return w;
+}
+
+Workload
+make_lstm(const isa::OpShape &top)
+{
+    Workload w;
+    w.name = "LSTM";
+    w.description =
+        "LSTM inference, 50 steps of y=sigma(W0*y + W1*x) with 128x128 "
+        "weights, cubic activation, 50 bootstrapping operations";
+    OpShape s = top;
+    // The per-step state lives at a low level and is refreshed by a
+    // thin bootstrap every step, so step arithmetic is cheap and the
+    // keyswitch basis stays small.
+    s.limbs = 10;
+    s.K = 3;
+
+    for (int step = 0; step < 50; ++step) {
+        emit_matvec(w.trace, w.ops, s, 128, BasicOp::Rotation);
+        emit_matvec(w.trace, w.ops, s, 128, BasicOp::Rotation);
+        isa::emit_hadd(w.trace, s, BasicOp::HAdd);
+        w.ops.add(BasicOp::HAdd);
+        // Cubic activation: two CMult + rescales.
+        for (int c = 0; c < 2; ++c) {
+            isa::emit_cmult(w.trace, s, BasicOp::CMult);
+            w.ops.add(BasicOp::CMult);
+            isa::emit_rescale(w.trace, s, BasicOp::Rescale);
+            w.ops.add(BasicOp::Rescale);
+        }
+        // Thin bootstrap: only 128 slots are packed, so CoeffToSlot
+        // collapses to two tiny stages and EvalMod dominates. The
+        // refresh also only needs to regenerate the short per-step
+        // chain, so it runs over a truncated modulus chain.
+        OpShape bootShape = top;
+        bootShape.limbs = 20;
+        bootShape.K = 5;
+        emit_boot(w.trace, w.ops, bootShape, /*slots=*/128,
+                  /*ctsStages=*/2, /*cmults=*/10);
+    }
+    w.bootstrapCount = 50;
+    return w;
+}
+
+Workload
+make_resnet20(const isa::OpShape &top)
+{
+    Workload w;
+    w.name = "ResNet-20";
+    w.description =
+        "ResNet-20 FHE inference [28]: 20 convolution layers as "
+        "rotation-heavy matrix products, degree-2 polynomial "
+        "activations, periodic bootstrapping";
+    OpShape s = top;
+    s.limbs = 24;
+
+    for (int layer = 0; layer < 20; ++layer) {
+        // Convolution lowered to shifted multiply-accumulate: a 3x3
+        // kernel over packed channels — 9 rotations with per-tap
+        // plaintext weights, accumulated, plus channel mixing.
+        for (int tap = 0; tap < 9; ++tap) {
+            isa::emit_rotation(w.trace, s, BasicOp::Rotation);
+            w.ops.add(BasicOp::Rotation);
+            isa::emit_pmult(w.trace, s, BasicOp::PMult);
+            w.ops.add(BasicOp::PMult);
+            isa::emit_hadd(w.trace, s, BasicOp::HAdd);
+            w.ops.add(BasicOp::HAdd);
+        }
+        emit_matvec(w.trace, w.ops, s, 64, BasicOp::Rotation);
+        // Square activation.
+        isa::emit_cmult(w.trace, s, BasicOp::CMult);
+        w.ops.add(BasicOp::CMult);
+        isa::emit_rescale(w.trace, s, BasicOp::Rescale);
+        w.ops.add(BasicOp::Rescale);
+        // Bootstrap every other layer.
+        if (layer % 2 == 1) {
+            emit_boot(w.trace, w.ops, top, /*slots=*/u64(1) << 14);
+        }
+    }
+    w.bootstrapCount = 10;
+    return w;
+}
+
+Workload
+make_packed_bootstrapping(const isa::OpShape &top)
+{
+    Workload w;
+    w.name = "Packed Bootstrapping";
+    w.description =
+        "Fully packed bootstrapping [30]: refresh a depth-exhausted "
+        "ciphertext (L=3) to L=57";
+    OpShape s = top;
+    s.limbs = 57;
+    emit_boot(w.trace, w.ops, s, /*slots=*/top.n / 2);
+    w.bootstrapCount = 1;
+    return w;
+}
+
+std::vector<Workload>
+paper_benchmarks()
+{
+    OpShape s = paper_shape();
+    return {make_lr(s), make_lstm(s), make_resnet20(s),
+            make_packed_bootstrapping(s)};
+}
+
+} // namespace poseidon::workloads

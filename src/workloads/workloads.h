@@ -1,0 +1,73 @@
+#ifndef POSEIDON_WORKLOADS_WORKLOADS_H_
+#define POSEIDON_WORKLOADS_WORKLOADS_H_
+
+/**
+ * @file
+ * The paper's four evaluation benchmarks (Table V) as operator traces.
+ *
+ * Each generator builds the exact operation mix the workload structure
+ * implies — matrix-vector products via the diagonal method with BSGS
+ * rotations, polynomial activations via CMult chains, bootstrapping
+ * via the packed pipeline — at the paper's full-scale parameters
+ * (N = 2^16). The functional counterparts at small N live in the
+ * examples/ directory; the traces here feed the hardware model.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/compiler.h"
+
+namespace poseidon::workloads {
+
+/// Counts of basic operations a workload performs (for CPU estimates).
+struct BasicOpCounts
+{
+    std::map<isa::BasicOp, u64> counts;
+
+    u64 of(isa::BasicOp b) const
+    {
+        auto it = counts.find(b);
+        return it == counts.end() ? 0 : it->second;
+    }
+
+    void add(isa::BasicOp b, u64 n = 1) { counts[b] += n; }
+};
+
+/// One benchmark: its trace plus bookkeeping.
+struct Workload
+{
+    std::string name;
+    std::string description;
+    isa::Trace trace;
+    BasicOpCounts ops;
+    u64 bootstrapCount = 0;
+    /// Divide total time by this to get the paper's reported metric
+    /// (e.g. LR reports the average per training iteration).
+    u64 reportDivisor = 1;
+};
+
+/// HELR logistic regression: 10 iterations, 2 bootstraps, L=38 depth.
+Workload make_lr(const isa::OpShape &top);
+
+/// LSTM inference: 50 time steps of y = sigma(W0 y + W1 x) with
+/// 128x128 weights; one (thin) bootstrap per step.
+Workload make_lstm(const isa::OpShape &top);
+
+/// ResNet-20 inference: 20 convolution layers lowered to rotation-
+/// heavy matrix products plus polynomial activations and bootstraps.
+Workload make_resnet20(const isa::OpShape &top);
+
+/// A single fully packed bootstrapping (L: 3 -> 57).
+Workload make_packed_bootstrapping(const isa::OpShape &top);
+
+/// All four, at the paper's scale (N = 2^16).
+std::vector<Workload> paper_benchmarks();
+
+/// The paper-scale shape (N = 2^16, 44 limbs, 1 special prime).
+isa::OpShape paper_shape();
+
+} // namespace poseidon::workloads
+
+#endif // POSEIDON_WORKLOADS_WORKLOADS_H_

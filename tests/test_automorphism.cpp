@@ -1,0 +1,211 @@
+// Tests for Galois automorphisms: the reference coefficient-domain map,
+// the evaluation-domain permutation, and HFAuto (Section III-B),
+// including the property sweep proving HFAuto == reference for all
+// odd galois elements and several sub-vector sizes C.
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "poly/automorphism.h"
+#include "poly/hfauto.h"
+#include "rns/primes.h"
+
+namespace poseidon {
+namespace {
+
+RingContextPtr
+make_ctx(std::size_t n, std::size_t ct)
+{
+    auto primes = generate_ntt_primes(n, 30, ct);
+    return std::make_shared<RingContext>(n, primes, 0);
+}
+
+TEST(Automorphism, IdentityElement)
+{
+    std::size_t n = 64;
+    u64 q = generate_ntt_primes(n, 30, 1)[0];
+    Prng prng(1);
+    std::vector<u64> in(n), out(n);
+    for (auto &v : in) v = prng.uniform(q);
+    automorphism_coeff_limb(in.data(), out.data(), n, 1, q);
+    EXPECT_EQ(in, out);
+}
+
+TEST(Automorphism, KnownSmallMap)
+{
+    // n=4, g=3: X -> X^3. a = 1 + 2X + 3X^2 + 4X^3.
+    // tau(a) = 1 + 2X^3 + 3X^6 + 4X^9 = 1 + 2X^3 - 3X^2 + 4X (mod X^4+1)
+    u64 q = 97;
+    std::vector<u64> in = {1, 2, 3, 4};
+    std::vector<u64> out(4);
+    automorphism_coeff_limb(in.data(), out.data(), 4, 3, q);
+    std::vector<u64> expect = {1, 4, q - 3, 2};
+    EXPECT_EQ(out, expect);
+}
+
+TEST(Automorphism, CompositionLaw)
+{
+    // tau_{g1} after tau_{g2} == tau_{g1*g2 mod 2N}
+    std::size_t n = 128;
+    u64 q = generate_ntt_primes(n, 30, 1)[0];
+    Prng prng(2);
+    std::vector<u64> a(n);
+    for (auto &v : a) v = prng.uniform(q);
+    u64 g1 = 5, g2 = 2 * n - 1;
+    std::vector<u64> t1(n), t2(n), direct(n);
+    automorphism_coeff_limb(a.data(), t1.data(), n, g2, q);
+    automorphism_coeff_limb(t1.data(), t2.data(), n, g1, q);
+    automorphism_coeff_limb(a.data(), direct.data(), n,
+                            (g1 * g2) % (2 * n), q);
+    EXPECT_EQ(t2, direct);
+}
+
+TEST(Automorphism, InverseElementRestores)
+{
+    std::size_t n = 256;
+    u64 q = generate_ntt_primes(n, 30, 1)[0];
+    u64 twoN = 2 * n;
+    Prng prng(3);
+    std::vector<u64> a(n), f(n), b(n);
+    for (auto &v : a) v = prng.uniform(q);
+    u64 g = 5;
+    u64 gInv = inv_mod(g, twoN);
+    automorphism_coeff_limb(a.data(), f.data(), n, g, q);
+    automorphism_coeff_limb(f.data(), b.data(), n, gInv, q);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Automorphism, EvalPermutationMatchesCoeffPath)
+{
+    // ntt(tau_g(a)) must equal perm_g(ntt(a)).
+    std::size_t n = 512;
+    auto ctx = make_ctx(n, 2);
+    Sampler s(4);
+    RnsPoly a = RnsPoly::ct(ctx, 2, Domain::Coeff);
+    a.assign_signed(s.gaussian(n, 40.0));
+
+    for (u64 g : {u64(5), u64(25), u64(2 * n - 1), u64(7),
+                  u64(2 * n - 5)}) {
+        RnsPoly viaCoeff = automorphism(a, g);
+        viaCoeff.to_eval();
+
+        RnsPoly aEval = a;
+        aEval.to_eval();
+        RnsPoly viaEval = automorphism(aEval, g);
+
+        for (std::size_t k = 0; k < a.num_limbs(); ++k) {
+            for (std::size_t t = 0; t < n; ++t) {
+                ASSERT_EQ(viaCoeff.limb(k)[t], viaEval.limb(k)[t])
+                    << "g=" << g << " k=" << k << " t=" << t;
+            }
+        }
+    }
+}
+
+TEST(Automorphism, GaloisElements)
+{
+    std::size_t n = 1024;
+    EXPECT_EQ(galois_element_for_step(n, 0), 1u);
+    EXPECT_EQ(galois_element_for_step(n, 1), 5u);
+    EXPECT_EQ(galois_element_for_step(n, 2), 25u);
+    EXPECT_EQ(galois_element_conjugate(n), 2 * n - 1);
+    // Negative step must be inverse of positive step in (Z/2N)*.
+    u64 gPos = galois_element_for_step(n, 3);
+    u64 gNeg = galois_element_for_step(n, -3);
+    EXPECT_EQ((gPos * gNeg) % (2 * n), 1u);
+}
+
+TEST(Automorphism, RejectsEvenGalois)
+{
+    std::vector<u64> in(8, 1), out(8);
+    EXPECT_THROW(automorphism_coeff_limb(in.data(), out.data(), 8, 2, 97),
+                 std::invalid_argument);
+}
+
+// ---- HFAuto ----
+
+struct HFAutoCase
+{
+    std::size_t n;
+    std::size_t c;
+};
+
+class HFAutoTest : public ::testing::TestWithParam<HFAutoCase> {};
+
+TEST_P(HFAutoTest, MatchesReferenceForManyGaloisElements)
+{
+    auto [n, c] = GetParam();
+    u64 q = generate_ntt_primes(n, 30, 1)[0];
+    HFAuto hf(n, c);
+    EXPECT_EQ(hf.sub_vector_len(), c);
+    EXPECT_EQ(hf.num_segments(), n / c);
+
+    Prng prng(11);
+    std::vector<u64> a(n), ref(n), got(n);
+    for (auto &v : a) v = prng.uniform(q);
+
+    // All rotation elements 5^r plus conjugation plus odd probes.
+    std::vector<u64> gs = {1, 2 * n - 1, 3, 2 * n - 3};
+    u64 g = 1;
+    for (int r = 0; r < 12; ++r) {
+        g = (g * 5) % (2 * n);
+        gs.push_back(g);
+    }
+    for (u64 gal : gs) {
+        automorphism_coeff_limb(a.data(), ref.data(), n, gal, q);
+        hf.apply_limb(a.data(), got.data(), gal, q);
+        ASSERT_EQ(got, ref) << "n=" << n << " C=" << c << " g=" << gal;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HFAutoTest,
+    ::testing::Values(HFAutoCase{64, 8}, HFAutoCase{64, 64},
+                      HFAutoCase{256, 16}, HFAutoCase{1024, 32},
+                      HFAutoCase{1024, 512}, HFAutoCase{4096, 512},
+                      HFAutoCase{8192, 512}, HFAutoCase{8192, 1024}));
+
+TEST(HFAuto, WholePolynomial)
+{
+    std::size_t n = 1024;
+    auto ctx = make_ctx(n, 3);
+    Sampler s(12);
+    RnsPoly a = RnsPoly::ct(ctx, 3, Domain::Coeff);
+    a.assign_signed(s.gaussian(n, 30.0));
+    HFAuto hf(n, 128);
+    u64 g = galois_element_for_step(n, 7);
+    RnsPoly got = hf.apply(a, g);
+    RnsPoly ref = automorphism(a, g);
+    for (std::size_t k = 0; k < a.num_limbs(); ++k) {
+        for (std::size_t t = 0; t < n; ++t) {
+            ASSERT_EQ(got.limb(k)[t], ref.limb(k)[t]);
+        }
+    }
+}
+
+TEST(HFAuto, StatsAccumulate)
+{
+    HFAuto hf(1024, 256); // R = 4
+    u64 q = generate_ntt_primes(1024, 30, 1)[0];
+    std::vector<u64> a(1024, 1), out(1024);
+    hf.apply_limb(a.data(), out.data(), 5, q);
+    const auto &st = hf.stats();
+    EXPECT_EQ(st.invocations, 1u);
+    // Stages 1, 2 and 4 touch R (or C) sub-vectors; all must be nonzero.
+    for (int s = 0; s < 4; ++s) EXPECT_GT(st.stageSubvecOps[s], 0u);
+    hf.reset_stats();
+    EXPECT_EQ(hf.stats().invocations, 0u);
+}
+
+TEST(HFAuto, RejectsBadShape)
+{
+    EXPECT_THROW(HFAuto(1000, 10), std::invalid_argument);
+    EXPECT_THROW(HFAuto(256, 512), std::invalid_argument);
+    HFAuto hf(256, 64);
+    std::vector<u64> a(256, 0), out(256);
+    EXPECT_THROW(hf.apply_limb(a.data(), out.data(), 4, 97),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace poseidon

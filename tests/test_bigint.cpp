@@ -1,0 +1,114 @@
+// Unit tests for the minimal big integer (rns/bigint).
+
+#include <gtest/gtest.h>
+
+#include "rns/bigint.h"
+
+namespace poseidon {
+namespace {
+
+TEST(BigUInt, ZeroAndSingle)
+{
+    BigUInt z;
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_EQ(z.to_double(), 0.0);
+    EXPECT_EQ(z.mod_u64(97), 0u);
+
+    BigUInt a(42);
+    EXPECT_FALSE(a.is_zero());
+    EXPECT_EQ(a.to_double(), 42.0);
+    EXPECT_EQ(a.mod_u64(97), 42u);
+    EXPECT_EQ(a.mod_u64(5), 2u);
+}
+
+TEST(BigUInt, AddCarries)
+{
+    BigUInt a(~u64(0));
+    BigUInt b(1);
+    a.add(b);
+    EXPECT_EQ(a.limb_count(), 2u);
+    EXPECT_DOUBLE_EQ(a.to_double(), 0x1.0p64);
+    EXPECT_EQ(a.mod_u64(3), (u64(1) << 32) % 3 * ((u64(1) << 32) % 3) % 3);
+}
+
+TEST(BigUInt, SubBorrowsAndTrims)
+{
+    BigUInt a(~u64(0));
+    a.add(BigUInt(1));       // 2^64
+    a.sub(BigUInt(1));       // 2^64 - 1
+    EXPECT_EQ(a.limb_count(), 1u);
+    EXPECT_EQ(a.mod_u64(1000003), (~u64(0)) % 1000003);
+
+    BigUInt b(5);
+    b.sub(BigUInt(5));
+    EXPECT_TRUE(b.is_zero());
+}
+
+TEST(BigUInt, Compare)
+{
+    BigUInt a(10), b(20);
+    EXPECT_LT(a.cmp(b), 0);
+    EXPECT_GT(b.cmp(a), 0);
+    EXPECT_EQ(a.cmp(BigUInt(10)), 0);
+    BigUInt big(1);
+    big.mul_u64(~u64(0));
+    big.mul_u64(~u64(0));
+    EXPECT_GT(big.cmp(b), 0);
+}
+
+TEST(BigUInt, MulU64)
+{
+    BigUInt a(0x100000000ull); // 2^32
+    a.mul_u64(0x100000000ull); // 2^64
+    EXPECT_EQ(a.limb_count(), 2u);
+    EXPECT_DOUBLE_EQ(a.to_double(), 0x1.0p64);
+    a.mul_u64(0);
+    EXPECT_TRUE(a.is_zero());
+}
+
+TEST(BigUInt, Shr1)
+{
+    BigUInt a(1);
+    a.mul_u64(u64(1) << 63);
+    a.mul_u64(2); // 2^64
+    a.shr1();     // 2^63
+    EXPECT_EQ(a.limb_count(), 1u);
+    EXPECT_DOUBLE_EQ(a.to_double(), 0x1.0p63);
+}
+
+TEST(BigUInt, Product)
+{
+    std::vector<u64> primes = {97, 101, 103};
+    BigUInt p = BigUInt::product(primes);
+    EXPECT_EQ(p.mod_u64(97), 0u);
+    EXPECT_EQ(p.mod_u64(101), 0u);
+    EXPECT_EQ(p.mod_u64(103), 0u);
+    EXPECT_DOUBLE_EQ(p.to_double(), 97.0 * 101.0 * 103.0);
+}
+
+TEST(BigUInt, ModLargeValue)
+{
+    // Verify multi-limb mod against a value constructed by products.
+    BigUInt p = BigUInt::product({4293918721ull, 4293525505ull,
+                                  4292870145ull});
+    u64 q = 1000000007;
+    // Compute reference: ((a mod q) * (b mod q) * (c mod q)) mod q.
+    u64 ref = 1;
+    for (u64 f : {4293918721ull, 4293525505ull, 4292870145ull}) {
+        ref = mul_mod(ref, f % q, q);
+    }
+    EXPECT_EQ(p.mod_u64(q), ref);
+}
+
+TEST(BigUInt, ToHex)
+{
+    EXPECT_EQ(BigUInt().to_hex(), "0x0");
+    EXPECT_EQ(BigUInt(255).to_hex(), "0xff");
+    BigUInt a(1);
+    a.mul_u64(u64(1) << 63);
+    a.mul_u64(2);
+    EXPECT_EQ(a.to_hex(), "0x10000000000000000");
+}
+
+} // namespace
+} // namespace poseidon

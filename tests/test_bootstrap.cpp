@@ -1,0 +1,217 @@
+// End-to-end bootstrapping tests: ModRaise, CoeffToSlot, EvalMod,
+// SlotToCoeff and the full refresh. Run at logN=10 to keep key
+// material and runtime modest; tolerances reflect the approximate
+// nature of EvalMod.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/bootstrap.h"
+#include "ckks/encryptor.h"
+
+namespace poseidon {
+namespace {
+
+CkksParams
+boot_params()
+{
+    CkksParams p;
+    p.logN = 10;
+    p.L = 24;
+    // Keep q0/Delta small (2^5): the CoeffToSlot constants carry
+    // Delta/q0 and their encoding error is amplified by q0/Delta at
+    // the end of EvalMod.
+    p.scaleBits = 40;
+    p.firstPrimeBits = 45;
+    p.specialPrimeBits = 50;
+    return p;
+}
+
+struct BootFixture
+{
+    CkksContextPtr ctx;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    CkksEncryptor encryptor;
+    CkksDecryptor decryptor;
+    CkksEvaluator eval;
+    Bootstrapper boot;
+
+    BootFixture()
+        : ctx(make_ckks_context(boot_params())),
+          encoder(ctx),
+          keygen(ctx),
+          encryptor(ctx, keygen.make_public_key()),
+          decryptor(ctx, keygen.secret_key()),
+          eval(ctx),
+          boot(ctx, encoder, keygen)
+    {}
+
+    static BootFixture& instance()
+    {
+        static BootFixture f; // heavyweight; share across tests
+        return f;
+    }
+};
+
+std::vector<cdouble>
+small_message(std::size_t n, u64 seed)
+{
+    Prng prng(seed);
+    std::vector<cdouble> v(n);
+    for (auto &x : v) {
+        x = cdouble(prng.uniform_double() - 0.5,
+                    prng.uniform_double() - 0.5);
+    }
+    return v;
+}
+
+double
+max_err(const std::vector<cdouble> &a, const std::vector<cdouble> &b)
+{
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        m = std::max(m, std::abs(a[i] - b[i]));
+    }
+    return m;
+}
+
+TEST(Bootstrap, LevelsBudget)
+{
+    BootFixture &f = BootFixture::instance();
+    EXPECT_EQ(f.boot.levels_consumed(), 21u);
+    EXPECT_GE(f.ctx->params().L, f.boot.levels_consumed() + 2);
+}
+
+TEST(Bootstrap, ModRaisePreservesMessage)
+{
+    // Raising mod q0 to the full chain keeps the message (plus q0*I,
+    // which decrypts away as long as we decrypt right after raising:
+    // the I-term is killed by reducing mod q0 ... it is NOT, so instead
+    // check that the decrypted coefficients match mod q0.
+    BootFixture &f = BootFixture::instance();
+    auto z = small_message(f.ctx->slots(), 1);
+    Ciphertext ct = f.encryptor.encrypt(f.encoder.encode(z, 1));
+    Ciphertext raised = f.boot.mod_raise(ct);
+    EXPECT_EQ(raised.num_limbs(), f.ctx->params().L);
+    EXPECT_EQ(raised.level(), f.ctx->top_level());
+
+    // Decrypt both and compare coefficient-wise mod q0.
+    Plaintext p0 = f.decryptor.decrypt(ct);
+    Plaintext p1 = f.decryptor.decrypt(raised);
+    RnsPoly a = p0.poly;
+    a.to_coeff();
+    RnsPoly b = p1.poly;
+    b.to_coeff();
+    std::size_t n = f.ctx->degree();
+    for (std::size_t t = 0; t < n; ++t) {
+        EXPECT_EQ(a.limb(0)[t], b.limb(0)[t]) << "coeff " << t;
+    }
+}
+
+TEST(Bootstrap, FullRefreshRecoversMessage)
+{
+    BootFixture &f = BootFixture::instance();
+    auto z = small_message(f.ctx->slots(), 2);
+    Ciphertext ct = f.encryptor.encrypt(f.encoder.encode(z, 1));
+    ASSERT_EQ(ct.num_limbs(), 1u);
+
+    Ciphertext fresh = f.boot.bootstrap(ct, f.eval);
+    EXPECT_GT(fresh.num_limbs(), ct.num_limbs())
+        << "bootstrap must raise the level";
+
+    auto back = f.encoder.decode(f.decryptor.decrypt(fresh));
+    EXPECT_LT(max_err(z, back), 5e-2);
+}
+
+TEST(Bootstrap, RefreshedCiphertextSupportsFurtherMultiplication)
+{
+    BootFixture &f = BootFixture::instance();
+    KSwitchKey relin = f.keygen.make_relin_key();
+    std::vector<cdouble> z(f.ctx->slots(), cdouble(0.25, 0.0));
+    Ciphertext ct = f.encryptor.encrypt(f.encoder.encode(z, 1));
+    // At one limb no multiplication is possible; bootstrap, then square.
+    Ciphertext fresh = f.boot.bootstrap(ct, f.eval);
+    ASSERT_GE(fresh.num_limbs(), 2u);
+    Ciphertext sq = f.eval.rescale(f.eval.square(fresh, relin));
+    auto back = f.encoder.decode(f.decryptor.decrypt(sq));
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(back[i].real(), 0.0625, 2e-2) << "slot " << i;
+    }
+}
+
+TEST(Bootstrap, RejectsShortChain)
+{
+    CkksParams p = boot_params();
+    p.L = 8; // far below levels_consumed() + 2
+    auto ctx = make_ckks_context(p);
+    CkksEncoder enc(ctx);
+    KeyGenerator kg(ctx);
+    CkksEvaluator ev(ctx);
+    Bootstrapper boot(ctx, enc, kg);
+    CkksEncryptor encr(ctx, kg.make_public_key());
+    auto z = small_message(ctx->slots(), 3);
+    Ciphertext ct = encr.encrypt(enc.encode(z, 1));
+    EXPECT_THROW(boot.bootstrap(ct, ev), std::invalid_argument);
+}
+
+
+TEST(Bootstrap, RepeatedBootstrapSurvivesScaleDrift)
+{
+    // Regression test: the input scale of a second bootstrap has
+    // drifted away from Delta through square+rescale chains; EvalMod
+    // must normalize it or the double-angle squarings amplify the
+    // deviation exponentially.
+    BootFixture &f = BootFixture::instance();
+    KSwitchKey relin = f.keygen.make_relin_key();
+    std::vector<cdouble> z(f.ctx->slots(), cdouble(0.9, 0.0));
+    Ciphertext ct = f.encryptor.encrypt(f.encoder.encode(z, 1));
+    double expect = 0.9;
+
+    ct = f.boot.bootstrap(ct, f.eval);
+    while (ct.num_limbs() > 1) {
+        ct = f.eval.square(ct, relin);
+        f.eval.rescale_inplace(ct);
+        expect *= expect;
+    }
+    ct = f.boot.bootstrap(ct, f.eval);
+    ct = f.eval.square(ct, relin);
+    f.eval.rescale_inplace(ct);
+    expect *= expect;
+
+    auto back = f.encoder.decode(f.decryptor.decrypt(ct));
+    EXPECT_NEAR(back[0].real(), expect, 5e-2);
+}
+
+
+TEST(Bootstrap, ChebyshevCosVariant)
+{
+    // The cosine-based EvalMod (real arithmetic, Chebyshev + double
+    // angle) must refresh just like the Taylor-exp variant.
+    CkksParams p = boot_params();
+    p.L = 30; // the Chebyshev ladder spends a few more levels
+    auto ctx = make_ckks_context(p);
+    CkksEncoder enc(ctx);
+    KeyGenerator kg(ctx);
+    CkksEncryptor encr(ctx, kg.make_public_key());
+    CkksDecryptor dec(ctx, kg.secret_key());
+    CkksEvaluator ev(ctx);
+
+    BootstrapConfig cfg;
+    cfg.variant = EvalModVariant::ChebyshevCos;
+    cfg.doubleAngleIters = 7;
+    cfg.chebDegree = 20;
+    Bootstrapper boot(ctx, enc, kg, cfg);
+    ASSERT_GE(p.L, boot.levels_consumed() + 2);
+
+    auto z = small_message(ctx->slots(), 9);
+    Ciphertext ct = encr.encrypt(enc.encode(z, 1));
+    Ciphertext fresh = boot.bootstrap(ct, ev);
+    EXPECT_GT(fresh.num_limbs(), 1u);
+    auto back = enc.decode(dec.decrypt(fresh));
+    EXPECT_LT(max_err(z, back), 5e-2);
+}
+
+} // namespace
+} // namespace poseidon

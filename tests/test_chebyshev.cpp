@@ -1,0 +1,169 @@
+// Tests for Chebyshev interpolation and homomorphic Chebyshev
+// evaluation (the polynomial engine of modern EvalMod), plus the
+// security estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/chebyshev.h"
+#include "ckks/encryptor.h"
+#include "ckks/security.h"
+
+namespace poseidon {
+namespace {
+
+TEST(ChebyshevPlain, InterpolatesSmoothFunctions)
+{
+    auto coeffs = chebyshev_interpolate(
+        [](double x) { return std::sin(x); }, -2.0, 2.0, 15);
+    for (double x = -2.0; x <= 2.0; x += 0.17) {
+        EXPECT_NEAR(chebyshev_eval_plain(coeffs, -2.0, 2.0, x),
+                    std::sin(x), 1e-9) << x;
+    }
+    auto e = chebyshev_interpolate(
+        [](double x) { return std::exp(x); }, 0.0, 1.0, 12);
+    for (double x = 0.0; x <= 1.0; x += 0.13) {
+        EXPECT_NEAR(chebyshev_eval_plain(e, 0.0, 1.0, x), std::exp(x),
+                    1e-9) << x;
+    }
+}
+
+TEST(ChebyshevPlain, ExactOnLowDegreePolynomials)
+{
+    // f(x) = 3 - x + 2x^2 on [-1,1] must be captured exactly by a
+    // degree-2 interpolation.
+    auto coeffs = chebyshev_interpolate(
+        [](double x) { return 3 - x + 2 * x * x; }, -1.0, 1.0, 2);
+    for (double x = -1.0; x <= 1.0; x += 0.1) {
+        EXPECT_NEAR(chebyshev_eval_plain(coeffs, -1.0, 1.0, x),
+                    3 - x + 2 * x * x, 1e-12);
+    }
+}
+
+struct ChebFixture
+{
+    CkksContextPtr ctx;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    CkksEncryptor encryptor;
+    CkksDecryptor decryptor;
+    CkksEvaluator eval;
+    KSwitchKey relin;
+    ChebyshevEvaluator cheb;
+
+    ChebFixture()
+        : ctx(make_ckks_context([] {
+              CkksParams p;
+              p.logN = 11;
+              p.L = 16;
+              p.scaleBits = 40;
+              p.firstPrimeBits = 45;
+              p.specialPrimeBits = 50;
+              return p;
+          }())),
+          encoder(ctx),
+          keygen(ctx),
+          encryptor(ctx, keygen.make_public_key()),
+          decryptor(ctx, keygen.secret_key()),
+          eval(ctx),
+          relin(keygen.make_relin_key()),
+          cheb(ctx, encoder, eval)
+    {}
+
+    static ChebFixture& instance()
+    {
+        static ChebFixture f;
+        return f;
+    }
+};
+
+TEST(ChebyshevHom, EvaluatesSineDegree15)
+{
+    ChebFixture &f = ChebFixture::instance();
+    std::size_t ns = f.ctx->slots();
+    Prng prng(77);
+    std::vector<cdouble> x(ns);
+    for (auto &v : x) v = cdouble(prng.uniform_double() * 4 - 2, 0.0);
+
+    Ciphertext ct = f.encryptor.encrypt(
+        f.encoder.encode(x, f.ctx->params().L));
+    auto coeffs = chebyshev_interpolate(
+        [](double v) { return std::sin(v); }, -2.0, 2.0, 15);
+    Ciphertext out = f.cheb.evaluate(ct, coeffs, -2.0, 2.0, f.relin);
+    auto back = f.encoder.decode(f.decryptor.decrypt(out));
+    for (std::size_t i = 0; i < ns; i += 7) {
+        EXPECT_NEAR(back[i].real(), std::sin(x[i].real()), 2e-3)
+            << "slot " << i;
+    }
+}
+
+TEST(ChebyshevHom, EvaluatesDegree31)
+{
+    ChebFixture &f = ChebFixture::instance();
+    std::size_t ns = f.ctx->slots();
+    Prng prng(78);
+    std::vector<cdouble> x(ns);
+    for (auto &v : x) v = cdouble(prng.uniform_double() * 2 - 1, 0.0);
+
+    Ciphertext ct = f.encryptor.encrypt(
+        f.encoder.encode(x, f.ctx->params().L));
+    // A genuinely high-degree target: cos(8y) needs degree ~30.
+    auto coeffs = chebyshev_interpolate(
+        [](double v) { return std::cos(8.0 * v); }, -1.0, 1.0, 31);
+    Ciphertext out = f.cheb.evaluate(ct, coeffs, -1.0, 1.0, f.relin);
+    auto back = f.encoder.decode(f.decryptor.decrypt(out));
+    for (std::size_t i = 0; i < ns; i += 11) {
+        EXPECT_NEAR(back[i].real(), std::cos(8.0 * x[i].real()), 5e-2)
+            << "slot " << i;
+    }
+}
+
+TEST(ChebyshevHom, ConstantAndLinear)
+{
+    ChebFixture &f = ChebFixture::instance();
+    std::vector<cdouble> x(f.ctx->slots(), cdouble(0.5, 0.0));
+    Ciphertext ct = f.encryptor.encrypt(
+        f.encoder.encode(x, f.ctx->params().L));
+
+    // Constant 2.5.
+    Ciphertext c = f.cheb.evaluate(ct, {2.5}, -1.0, 1.0, f.relin);
+    EXPECT_NEAR(f.encoder.decode(f.decryptor.decrypt(c))[0].real(), 2.5,
+                1e-3);
+    // Linear 1 + 2x on [-1,1]: coeffs {1, 2}.
+    Ciphertext l = f.cheb.evaluate(ct, {1.0, 2.0}, -1.0, 1.0, f.relin);
+    EXPECT_NEAR(f.encoder.decode(f.decryptor.decrypt(l))[0].real(), 2.0,
+                1e-3);
+}
+
+TEST(Security, StandardTable)
+{
+    EXPECT_EQ(max_log_pq(4096, SecurityLevel::Classical128), 109u);
+    EXPECT_EQ(max_log_pq(32768, SecurityLevel::Classical128), 881u);
+    EXPECT_EQ(max_log_pq(999, SecurityLevel::Classical128), 0u);
+}
+
+TEST(Security, EstimatesLevels)
+{
+    CkksParams insecure; // logN=12, default chain is too big? check
+    insecure.logN = 10;
+    insecure.L = 24;
+    insecure.scaleBits = 40;
+    EXPECT_EQ(estimate_security(insecure), SecurityLevel::None);
+
+    CkksParams ok;
+    ok.logN = 13;
+    ok.L = 3;
+    ok.scaleBits = 35;
+    ok.firstPrimeBits = 45;
+    ok.specialPrimeBits = 45;
+    ok.K = 1;
+    EXPECT_EQ(estimate_security(ok), SecurityLevel::Classical128);
+
+    CkksParams strong = ok;
+    strong.logN = 15;
+    EXPECT_EQ(estimate_security(strong), SecurityLevel::Classical256);
+}
+
+} // namespace
+} // namespace poseidon

@@ -1,0 +1,196 @@
+// Tests for the operator ISA: traces, statistics, and the basic-op ->
+// operator compiler, including the operator-reuse matrix of Table I.
+
+#include <gtest/gtest.h>
+
+#include "isa/compiler.h"
+
+namespace poseidon::isa {
+namespace {
+
+OpShape
+small_shape()
+{
+    OpShape s;
+    s.n = 4096;
+    s.limbs = 8;
+    s.K = 1;
+    return s;
+}
+
+TEST(Trace, EmitAndTotals)
+{
+    Trace t;
+    t.emit(OpKind::MA, 100, 0, BasicOp::HAdd);
+    t.emit(OpKind::MM, 50, 0, BasicOp::HAdd);
+    t.emit(OpKind::HBM_RD, 200, 0, BasicOp::HAdd);
+    t.emit(OpKind::MA, 0, 0, BasicOp::HAdd); // zero elems: dropped
+    EXPECT_EQ(t.size(), 3u);
+    OpCounts c = t.totals();
+    EXPECT_EQ(c[OpKind::MA], 100u);
+    EXPECT_EQ(c[OpKind::MM], 50u);
+    EXPECT_EQ(c.hbm_words(), 200u);
+    EXPECT_EQ(c.compute_elems(), 150u);
+}
+
+TEST(Trace, RepeatAndAppend)
+{
+    Trace t;
+    t.emit(OpKind::MA, 10, 0, BasicOp::HAdd);
+    t.repeat(5);
+    EXPECT_EQ(t.totals()[OpKind::MA], 50u);
+    Trace u;
+    u.emit(OpKind::MM, 7, 0, BasicOp::PMult);
+    t.append(u);
+    EXPECT_EQ(t.totals()[OpKind::MM], 7u);
+    EXPECT_THROW(t.repeat(0), std::invalid_argument);
+}
+
+TEST(Trace, TotalsByTag)
+{
+    Trace t;
+    OpShape s = small_shape();
+    emit_hadd(t, s);
+    emit_pmult(t, s);
+    auto byTag = t.totals_by_tag();
+    EXPECT_TRUE(byTag.count(BasicOp::HAdd));
+    EXPECT_TRUE(byTag.count(BasicOp::PMult));
+    EXPECT_EQ(byTag[BasicOp::HAdd][OpKind::MA], 2 * s.limbs * s.n);
+    EXPECT_EQ(byTag[BasicOp::PMult][OpKind::MM], 2 * s.limbs * s.n);
+}
+
+TEST(Compiler, TableIOperatorReuseMatrix)
+{
+    // Reproduce Table I: which operators each basic operation uses.
+    OpShape s = small_shape();
+
+    struct Row
+    {
+        BasicOp op;
+        bool ma, mm, ntt, autom, sbt;
+    };
+    // Expected matrix (NTT column covers NTT or INTT).
+    const Row expected[] = {
+        {BasicOp::HAdd, true, false, false, false, false},
+        {BasicOp::PMult, false, true, false, false, true},
+        {BasicOp::CMult, true, true, true, false, true},
+        {BasicOp::Rescale, true, true, true, false, true},
+        {BasicOp::ModUp, false, true, true, false, true},
+        {BasicOp::ModDown, true, true, true, false, true},
+        {BasicOp::Keyswitch, true, true, true, false, true},
+        {BasicOp::Rotation, true, true, true, true, true},
+    };
+    for (const auto &row : expected) {
+        Trace t;
+        switch (row.op) {
+          case BasicOp::HAdd: emit_hadd(t, s); break;
+          case BasicOp::PMult: emit_pmult(t, s); break;
+          case BasicOp::CMult: emit_cmult(t, s); break;
+          case BasicOp::Rescale: emit_rescale(t, s); break;
+          case BasicOp::ModUp: emit_modup(t, s); break;
+          case BasicOp::ModDown: emit_moddown(t, s); break;
+          case BasicOp::Keyswitch: emit_keyswitch(t, s); break;
+          case BasicOp::Rotation: emit_rotation(t, s); break;
+          default: break;
+        }
+        bool ntt = t.uses(row.op, OpKind::NTT) ||
+                   t.uses(row.op, OpKind::INTT);
+        EXPECT_EQ(t.uses(row.op, OpKind::MA), row.ma)
+            << to_string(row.op) << " MA";
+        EXPECT_EQ(t.uses(row.op, OpKind::MM), row.mm)
+            << to_string(row.op) << " MM";
+        EXPECT_EQ(ntt, row.ntt) << to_string(row.op) << " NTT";
+        EXPECT_EQ(t.uses(row.op, OpKind::AUTO), row.autom)
+            << to_string(row.op) << " Auto";
+        EXPECT_EQ(t.uses(row.op, OpKind::SBT), row.sbt)
+            << to_string(row.op) << " SBT";
+    }
+}
+
+TEST(Compiler, BootstrappingUsesAllOperators)
+{
+    Trace t;
+    BootstrapShape bs;
+    bs.base = small_shape();
+    bs.base.limbs = 20;
+    emit_bootstrap(t, bs);
+    for (OpKind k : {OpKind::MA, OpKind::MM, OpKind::NTT, OpKind::INTT,
+                     OpKind::AUTO, OpKind::SBT}) {
+        EXPECT_TRUE(t.uses(BasicOp::Bootstrapping, k))
+            << "bootstrap missing " << to_string(k);
+    }
+}
+
+TEST(Compiler, KeyswitchKeyTrafficDominates)
+{
+    // The switching key stream (digits * 2 * ext * N words) must be
+    // the dominant HBM traffic of a standalone keyswitch.
+    OpShape s = small_shape();
+    s.limbs = 40;
+    Trace t;
+    emit_keyswitch(t, s);
+    u64 keyWords = s.digits() * 2 * s.ext_limbs() * s.n;
+    u64 totalRead = t.totals()[OpKind::HBM_RD];
+    EXPECT_GE(totalRead, keyWords);
+    EXPECT_GT(static_cast<double>(keyWords) / totalRead, 0.9);
+}
+
+TEST(Compiler, DigitGroupingReducesKeyTraffic)
+{
+    OpShape full = small_shape();
+    full.limbs = 40;
+    OpShape grouped = full;
+    grouped.dnum = 4;
+    grouped.K = 10; // alpha special primes
+    Trace a, b;
+    emit_keyswitch(a, full);
+    emit_keyswitch(b, grouped);
+    EXPECT_LT(b.totals()[OpKind::HBM_RD], a.totals()[OpKind::HBM_RD]);
+}
+
+TEST(Compiler, HAddTrafficAndCompute)
+{
+    OpShape s = small_shape();
+    Trace t;
+    emit_hadd(t, s);
+    OpCounts c = t.totals();
+    EXPECT_EQ(c[OpKind::HBM_RD], 4 * s.limbs * s.n);
+    EXPECT_EQ(c[OpKind::HBM_WR], 2 * s.limbs * s.n);
+    EXPECT_EQ(c[OpKind::MA], 2 * s.limbs * s.n);
+    EXPECT_EQ(c[OpKind::MM], 0u);
+}
+
+TEST(Compiler, RescaleRequiresTwoLimbs)
+{
+    OpShape s = small_shape();
+    s.limbs = 1;
+    Trace t;
+    EXPECT_THROW(emit_rescale(t, s), std::invalid_argument);
+}
+
+TEST(Compiler, RotationIncludesAutomorphismAndKeyswitch)
+{
+    OpShape s = small_shape();
+    Trace t;
+    emit_rotation(t, s);
+    OpCounts c = t.totals();
+    EXPECT_EQ(c[OpKind::AUTO], 2 * s.limbs * s.n);
+    EXPECT_GT(c[OpKind::NTT], 0u);  // from the embedded keyswitch
+    EXPECT_GT(c[OpKind::INTT], 0u);
+}
+
+TEST(Compiler, BootstrapScalesWithSlots)
+{
+    BootstrapShape big, thin;
+    big.base = small_shape();
+    big.base.limbs = 24;
+    thin = big;
+    thin.slots = 16; // thin bootstrap
+    Trace tb, tt;
+    emit_bootstrap(tb, big);
+    emit_bootstrap(tt, thin);
+    EXPECT_GT(tb.totals().compute_elems(), tt.totals().compute_elems());
+}
+
+} // namespace
+} // namespace poseidon::isa

@@ -1,0 +1,167 @@
+// Unit tests for the modular arithmetic primitives (common/modmath).
+
+#include <gtest/gtest.h>
+
+#include "common/modmath.h"
+#include "common/prng.h"
+
+namespace poseidon {
+namespace {
+
+TEST(ModMath, AddSubNeg)
+{
+    u64 q = 97;
+    EXPECT_EQ(add_mod(50, 60, q), 13u);
+    EXPECT_EQ(add_mod(0, 0, q), 0u);
+    EXPECT_EQ(add_mod(96, 96, q), 95u);
+    EXPECT_EQ(sub_mod(10, 20, q), 87u);
+    EXPECT_EQ(sub_mod(20, 10, q), 10u);
+    EXPECT_EQ(neg_mod(0, q), 0u);
+    EXPECT_EQ(neg_mod(1, q), 96u);
+}
+
+TEST(ModMath, PowMod)
+{
+    EXPECT_EQ(pow_mod(2, 10, 1000003), 1024u);
+    EXPECT_EQ(pow_mod(5, 0, 97), 1u);
+    EXPECT_EQ(pow_mod(7, 96, 97), 1u); // Fermat
+    EXPECT_EQ(pow_mod(123456789, 1, 97), 123456789 % 97);
+}
+
+TEST(ModMath, InvMod)
+{
+    for (u64 q : {97ull, 65537ull, 4611686018427387847ull}) {
+        if (!is_prime(q)) continue;
+        for (u64 a : {u64(1), u64(2), u64(3), u64(12345), q - 1}) {
+            u64 inv = inv_mod(a % q, q);
+            EXPECT_EQ(mul_mod(a % q, inv, q), 1u)
+                << "a=" << a << " q=" << q;
+        }
+    }
+    EXPECT_THROW(inv_mod(2, 4), std::invalid_argument);
+}
+
+TEST(ModMath, IsPrimeSmall)
+{
+    EXPECT_FALSE(is_prime(0));
+    EXPECT_FALSE(is_prime(1));
+    EXPECT_TRUE(is_prime(2));
+    EXPECT_TRUE(is_prime(3));
+    EXPECT_FALSE(is_prime(4));
+    EXPECT_TRUE(is_prime(97));
+    EXPECT_FALSE(is_prime(91)); // 7*13
+    EXPECT_TRUE(is_prime(65537));
+    EXPECT_FALSE(is_prime(65535));
+}
+
+TEST(ModMath, IsPrimeLarge)
+{
+    EXPECT_TRUE(is_prime(4611686018427387847ull));  // close to 2^62
+    EXPECT_FALSE(is_prime(4611686018427387845ull));
+    EXPECT_TRUE(is_prime((u64(1) << 32) - 5));
+    // Carmichael number 561 = 3*11*17 must be rejected.
+    EXPECT_FALSE(is_prime(561));
+    EXPECT_FALSE(is_prime(1729));
+}
+
+TEST(ModMath, BitReverse)
+{
+    EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+    EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+    EXPECT_EQ(bit_reverse(1, 16), u64(1) << 15);
+    for (u64 x = 0; x < 64; ++x) {
+        EXPECT_EQ(bit_reverse(bit_reverse(x, 6), 6), x);
+    }
+}
+
+TEST(ModMath, Log2AndPow2)
+{
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(4096));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_EQ(log2_floor(1), 0u);
+    EXPECT_EQ(log2_floor(4096), 12u);
+    EXPECT_EQ(log2_floor(4097), 12u);
+}
+
+TEST(ModMath, Centered)
+{
+    EXPECT_EQ(centered(0, 97), 0);
+    EXPECT_EQ(centered(48, 97), 48);
+    EXPECT_EQ(centered(49, 97), -48);
+    EXPECT_EQ(centered(96, 97), -1);
+}
+
+class BarrettTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BarrettTest, MatchesReference)
+{
+    u64 q = GetParam();
+    Barrett64 br(q);
+    EXPECT_EQ(br.modulus(), q);
+    Prng prng(42);
+    for (int i = 0; i < 2000; ++i) {
+        u64 a = prng.uniform(q);
+        u64 b = prng.uniform(q);
+        EXPECT_EQ(br.mul(a, b), mul_mod(a, b, q));
+    }
+    // Edge cases.
+    EXPECT_EQ(br.mul(0, 0), 0u);
+    EXPECT_EQ(br.mul(q - 1, q - 1), mul_mod(q - 1, q - 1, q));
+    EXPECT_EQ(br.mul(1, q - 1), q - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moduli, BarrettTest,
+    ::testing::Values(
+        3ull, 97ull, 65537ull,
+        (u64(1) << 30) - 35,            // 30-bit prime
+        4293918721ull,                  // 32-bit NTT prime
+        1125899906826241ull,            // 50-bit NTT prime
+        2305843009213693951ull,         // Mersenne prime 2^61-1
+        4611686018427387847ull));       // near 2^62
+
+class ShoupTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ShoupTest, MatchesReference)
+{
+    u64 q = GetParam();
+    Prng prng(7);
+    for (int i = 0; i < 200; ++i) {
+        u64 w = prng.uniform(q);
+        ShoupMul m(w, q);
+        EXPECT_EQ(m.value(), w);
+        for (int j = 0; j < 20; ++j) {
+            u64 a = prng.uniform(q);
+            EXPECT_EQ(m.mul(a), mul_mod(a, w, q));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moduli, ShoupTest,
+    ::testing::Values(97ull, 65537ull, 4293918721ull,
+                      1125899906826241ull, 4611686018427387847ull));
+
+TEST(ModMath, PrimitiveRoot)
+{
+    for (u64 q : {97ull, 65537ull, 7681ull, 12289ull}) {
+        u64 g = find_primitive_root(q);
+        // g^(q-1) = 1 but g^((q-1)/f) != 1 for prime factors f.
+        EXPECT_EQ(pow_mod(g, q - 1, q), 1u);
+        EXPECT_NE(pow_mod(g, (q - 1) / 2, q), 1u);
+    }
+}
+
+TEST(ModMath, NthRoot)
+{
+    u64 q = 7681; // 7681 = 1 + 2^9 * 15, supports 512-th roots
+    u64 w = find_nth_root(512, q);
+    EXPECT_EQ(pow_mod(w, 512, q), 1u);
+    EXPECT_NE(pow_mod(w, 256, q), 1u);
+    EXPECT_THROW(find_nth_root(1024, q), std::invalid_argument);
+}
+
+} // namespace
+} // namespace poseidon

@@ -1,0 +1,171 @@
+// Unit tests for RingContext and RnsPoly (poly module).
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "ntt/ntt.h"
+#include "poly/poly.h"
+#include "rns/primes.h"
+
+namespace poseidon {
+namespace {
+
+RingContextPtr
+make_ctx(std::size_t n, std::size_t ct, std::size_t sp,
+         unsigned bits = 30)
+{
+    auto primes = generate_ntt_primes(n, bits, ct + sp);
+    return std::make_shared<RingContext>(n, primes, sp);
+}
+
+TEST(RingContext, Shape)
+{
+    auto ctx = make_ctx(256, 3, 1);
+    EXPECT_EQ(ctx->degree(), 256u);
+    EXPECT_EQ(ctx->num_primes(), 4u);
+    EXPECT_EQ(ctx->num_ct_primes(), 3u);
+    EXPECT_EQ(ctx->num_special_primes(), 1u);
+    EXPECT_EQ(ctx->ct_basis(2).size(), 2u);
+    EXPECT_EQ(ctx->ct_basis(2).modulus(0), ctx->prime(0));
+    EXPECT_EQ(ctx->special_basis().size(), 1u);
+    EXPECT_EQ(ctx->special_basis().modulus(0), ctx->prime(3));
+    EXPECT_THROW(ctx->ct_basis(0), std::invalid_argument);
+    EXPECT_THROW(ctx->ct_basis(4), std::invalid_argument);
+}
+
+TEST(RnsPoly, ConstructionAndZero)
+{
+    auto ctx = make_ctx(128, 2, 0);
+    RnsPoly p = RnsPoly::ct(ctx, 2, Domain::Coeff);
+    EXPECT_EQ(p.num_limbs(), 2u);
+    EXPECT_EQ(p.degree(), 128u);
+    for (std::size_t k = 0; k < 2; ++k) {
+        for (std::size_t t = 0; t < 128; ++t) {
+            EXPECT_EQ(p.limb(k)[t], 0u);
+        }
+    }
+}
+
+TEST(RnsPoly, AssignSignedAndNegate)
+{
+    auto ctx = make_ctx(64, 2, 0);
+    RnsPoly p = RnsPoly::ct(ctx, 2, Domain::Coeff);
+    std::vector<i64> coeffs(64, 0);
+    coeffs[0] = 5;
+    coeffs[1] = -7;
+    p.assign_signed(coeffs);
+    EXPECT_EQ(p.limb(0)[0], 5u);
+    EXPECT_EQ(p.limb(0)[1], ctx->prime(0) - 7);
+    p.negate_inplace();
+    EXPECT_EQ(p.limb(0)[0], ctx->prime(0) - 5);
+    EXPECT_EQ(p.limb(0)[1], 7u);
+}
+
+TEST(RnsPoly, AddSubRoundTrip)
+{
+    auto ctx = make_ctx(128, 3, 0);
+    Sampler s(3);
+    RnsPoly a = RnsPoly::ct(ctx, 3, Domain::Coeff);
+    RnsPoly b = RnsPoly::ct(ctx, 3, Domain::Coeff);
+    a.assign_signed(s.gaussian(128, 100.0));
+    b.assign_signed(s.gaussian(128, 100.0));
+    RnsPoly c = a;
+    c.add_inplace(b);
+    c.sub_inplace(b);
+    for (std::size_t k = 0; k < 3; ++k) {
+        for (std::size_t t = 0; t < 128; ++t) {
+            EXPECT_EQ(c.limb(k)[t], a.limb(k)[t]);
+        }
+    }
+}
+
+TEST(RnsPoly, EvalMulMatchesNaiveNegacyclic)
+{
+    auto ctx = make_ctx(64, 2, 0);
+    Prng prng(9);
+    RnsPoly a = RnsPoly::ct(ctx, 2, Domain::Coeff);
+    RnsPoly b = RnsPoly::ct(ctx, 2, Domain::Coeff);
+    for (std::size_t k = 0; k < 2; ++k) {
+        for (std::size_t t = 0; t < 64; ++t) {
+            a.limb(k)[t] = prng.uniform(ctx->prime(k));
+            b.limb(k)[t] = prng.uniform(ctx->prime(k));
+        }
+    }
+    std::vector<std::vector<u64>> expect(2, std::vector<u64>(64));
+    for (std::size_t k = 0; k < 2; ++k) {
+        negacyclic_mul_naive(a.limb(k), b.limb(k), expect[k].data(), 64,
+                             ctx->prime(k));
+    }
+    a.to_eval();
+    b.to_eval();
+    a.mul_inplace(b);
+    a.to_coeff();
+    for (std::size_t k = 0; k < 2; ++k) {
+        for (std::size_t t = 0; t < 64; ++t) {
+            EXPECT_EQ(a.limb(k)[t], expect[k][t]);
+        }
+    }
+}
+
+TEST(RnsPoly, DomainSwitchIsInvolutive)
+{
+    auto ctx = make_ctx(256, 2, 1);
+    Sampler s(5);
+    RnsPoly p = RnsPoly::ct(ctx, 2, Domain::Coeff);
+    p.assign_signed(s.gaussian(256, 50.0));
+    RnsPoly orig = p;
+    p.to_eval();
+    EXPECT_EQ(p.domain(), Domain::Eval);
+    p.to_eval(); // no-op
+    p.to_coeff();
+    EXPECT_EQ(p.domain(), Domain::Coeff);
+    for (std::size_t k = 0; k < p.num_limbs(); ++k) {
+        for (std::size_t t = 0; t < 256; ++t) {
+            EXPECT_EQ(p.limb(k)[t], orig.limb(k)[t]);
+        }
+    }
+}
+
+TEST(RnsPoly, ScalarMultiplication)
+{
+    auto ctx = make_ctx(64, 2, 0);
+    RnsPoly p = RnsPoly::ct(ctx, 2, Domain::Coeff);
+    std::vector<i64> coeffs(64, 3);
+    p.assign_signed(coeffs);
+    p.mul_scalar_inplace(u64(5));
+    for (std::size_t k = 0; k < 2; ++k) {
+        EXPECT_EQ(p.limb(k)[0], 15u);
+    }
+    // Per-limb scalars.
+    std::vector<u64> s = {2, 3};
+    p.mul_scalar_inplace(s);
+    EXPECT_EQ(p.limb(0)[0], 30u);
+    EXPECT_EQ(p.limb(1)[0], 45u);
+}
+
+TEST(RnsPoly, DropAndAppendLimb)
+{
+    auto ctx = make_ctx(64, 3, 1);
+    RnsPoly p = RnsPoly::ct(ctx, 3, Domain::Coeff);
+    p.drop_last_limb();
+    EXPECT_EQ(p.num_limbs(), 2u);
+    EXPECT_EQ(p.prime(1), ctx->prime(1));
+    p.append_limb(3); // attach the special prime
+    EXPECT_EQ(p.num_limbs(), 3u);
+    EXPECT_EQ(p.prime(2), ctx->prime(3));
+    RnsPoly q = RnsPoly::ct(ctx, 1, Domain::Coeff);
+    EXPECT_THROW(q.drop_last_limb(), std::invalid_argument);
+}
+
+TEST(RnsPoly, IncompatibleOperandsRejected)
+{
+    auto ctx = make_ctx(64, 3, 0);
+    RnsPoly a = RnsPoly::ct(ctx, 3, Domain::Coeff);
+    RnsPoly b = RnsPoly::ct(ctx, 2, Domain::Coeff);
+    EXPECT_THROW(a.add_inplace(b), std::invalid_argument);
+    RnsPoly c = RnsPoly::ct(ctx, 3, Domain::Eval);
+    EXPECT_THROW(a.add_inplace(c), std::invalid_argument);
+}
+
+} // namespace
+} // namespace poseidon

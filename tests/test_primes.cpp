@@ -1,0 +1,69 @@
+// Unit tests for NTT prime generation (rns/primes).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rns/primes.h"
+
+namespace poseidon {
+namespace {
+
+TEST(Primes, CongruentOneModTwoN)
+{
+    for (std::size_t n : {1024ull, 4096ull, 65536ull}) {
+        auto primes = generate_ntt_primes(n, 32, 5);
+        ASSERT_EQ(primes.size(), 5u);
+        for (u64 p : primes) {
+            EXPECT_TRUE(is_prime(p));
+            EXPECT_EQ((p - 1) % (2 * n), 0u) << "p=" << p << " n=" << n;
+            EXPECT_LT(p, u64(1) << 32);
+            EXPECT_GT(p, u64(1) << 31);
+        }
+    }
+}
+
+TEST(Primes, Distinct)
+{
+    auto primes = generate_ntt_primes(4096, 40, 20);
+    std::set<u64> s(primes.begin(), primes.end());
+    EXPECT_EQ(s.size(), 20u);
+}
+
+TEST(Primes, AvoidsGivenPrimes)
+{
+    auto first = generate_ntt_primes(4096, 36, 3);
+    auto second = generate_ntt_primes(4096, 36, 3, first);
+    for (u64 p : second) {
+        for (u64 f : first) EXPECT_NE(p, f);
+    }
+}
+
+TEST(Primes, DescendingOrder)
+{
+    auto primes = generate_ntt_primes(8192, 45, 8);
+    for (std::size_t i = 1; i < primes.size(); ++i) {
+        EXPECT_LT(primes[i], primes[i - 1]);
+    }
+}
+
+TEST(Primes, RejectsBadArguments)
+{
+    EXPECT_THROW(generate_ntt_primes(1000, 32, 1), std::invalid_argument);
+    EXPECT_THROW(generate_ntt_primes(1024, 10, 1), std::invalid_argument);
+    EXPECT_THROW(generate_ntt_primes(1024, 62, 1), std::invalid_argument);
+}
+
+TEST(Primes, SmallBitSizes)
+{
+    // 2N = 2^17 leaves only 3 headroom bits at 20-bit size; must still
+    // find at least one prime or fail loudly. Use a small ring instead.
+    auto primes = generate_ntt_primes(256, 20, 4);
+    for (u64 p : primes) {
+        EXPECT_TRUE(is_prime(p));
+        EXPECT_EQ((p - 1) % 512, 0u);
+    }
+}
+
+} // namespace
+} // namespace poseidon

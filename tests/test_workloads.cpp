@@ -1,0 +1,136 @@
+// Tests for the benchmark workload generators and the published-number
+// baselines.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu.h"
+#include "baselines/published.h"
+#include "hw/sim.h"
+#include "workloads/workloads.h"
+
+namespace poseidon {
+namespace {
+
+using isa::BasicOp;
+using isa::OpKind;
+
+TEST(Workloads, FourPaperBenchmarks)
+{
+    auto all = workloads::paper_benchmarks();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].name, "LR");
+    EXPECT_EQ(all[1].name, "LSTM");
+    EXPECT_EQ(all[2].name, "ResNet-20");
+    EXPECT_EQ(all[3].name, "Packed Bootstrapping");
+    for (const auto &w : all) {
+        EXPECT_FALSE(w.trace.empty()) << w.name;
+        EXPECT_FALSE(w.description.empty()) << w.name;
+        EXPECT_GT(w.bootstrapCount, 0u) << w.name;
+    }
+}
+
+TEST(Workloads, LrShape)
+{
+    auto lr = workloads::make_lr(workloads::paper_shape());
+    EXPECT_EQ(lr.bootstrapCount, 2u);
+    EXPECT_EQ(lr.reportDivisor, 10u);
+    EXPECT_EQ(lr.ops.of(BasicOp::Rotation), 120u); // 12 x 10 iters
+    EXPECT_EQ(lr.ops.of(BasicOp::CMult), 20u);
+    EXPECT_EQ(lr.ops.of(BasicOp::Bootstrapping), 2u);
+}
+
+TEST(Workloads, LstmIsRotationHeavy)
+{
+    auto lstm = workloads::make_lstm(workloads::paper_shape());
+    EXPECT_EQ(lstm.bootstrapCount, 50u);
+    EXPECT_GT(lstm.ops.of(BasicOp::Rotation), 1000u);
+    EXPECT_GT(lstm.ops.of(BasicOp::PMult), 10000u);
+}
+
+TEST(Workloads, KeyswitchAndCMultDominateBenchmarkTime)
+{
+    // Fig. 8's qualitative claim: Keyswitch-bearing ops (Rotation,
+    // CMult) plus bootstrapping dominate benchmark execution time.
+    hw::PoseidonSim sim;
+    auto lr = workloads::make_lr(workloads::paper_shape());
+    auto r = sim.run(lr.trace);
+    double ksHeavy = 0, rest = 0;
+    for (auto &[tag, sec] : r.tagSeconds) {
+        if (tag == BasicOp::Rotation || tag == BasicOp::CMult ||
+            tag == BasicOp::Bootstrapping || tag == BasicOp::Keyswitch) {
+            ksHeavy += sec;
+        } else {
+            rest += sec;
+        }
+    }
+    EXPECT_GT(ksHeavy, rest * 3);
+}
+
+TEST(Workloads, BootstrappingTraceUsesEveryOperator)
+{
+    auto boot = workloads::make_packed_bootstrapping(
+        workloads::paper_shape());
+    for (OpKind k : {OpKind::MA, OpKind::MM, OpKind::NTT, OpKind::AUTO,
+                     OpKind::SBT, OpKind::HBM_RD, OpKind::HBM_WR}) {
+        EXPECT_GT(boot.trace.totals()[k], 0u) << isa::to_string(k);
+    }
+}
+
+TEST(Published, ComparatorSpecs)
+{
+    auto specs = baselines::comparator_specs();
+    EXPECT_GE(specs.size(), 8u);
+    auto poseidon = baselines::spec("Poseidon");
+    EXPECT_EQ(poseidon.platform, "FPGA (Alveo U280)");
+    EXPECT_NEAR(poseidon.offchipGBps, 460.0, 1e-9);
+    EXPECT_NEAR(poseidon.scratchpadMB, 8.6, 1e-9);
+    EXPECT_THROW(baselines::spec("NoSuchSystem"), std::invalid_argument);
+}
+
+TEST(Published, BenchTimesAnchors)
+{
+    auto p = baselines::bench_times("Poseidon");
+    EXPECT_NEAR(p.lr, 72.98, 1e-9);
+    EXPECT_NEAR(p.bootstrapping, 127.45, 1e-9);
+    auto gpu = baselines::bench_times("over100x");
+    // Abstract claim: up to 10.6x over the GPU on a benchmark.
+    EXPECT_NEAR(gpu.lr / p.lr, 10.6, 0.1);
+    auto f1 = baselines::bench_times("F1+");
+    EXPECT_NEAR(f1.lr / p.lr, 8.7, 0.1);
+}
+
+TEST(Published, RatesAndResources)
+{
+    auto gpu = baselines::gpu_over100x_rates();
+    EXPECT_GT(gpu.pmult, gpu.cmult); // PMult is much cheaper
+    auto heax = baselines::heax_rates();
+    EXPECT_GT(heax.pmult, 0);
+    auto fpga = baselines::prior_fpga_resources();
+    EXPECT_EQ(fpga.size(), 2u);
+}
+
+TEST(CpuBaseline, MeasureAndScale)
+{
+    CkksParams p;
+    p.logN = 10;
+    p.L = 3;
+    p.scaleBits = 30;
+    p.firstPrimeBits = 40;
+    p.specialPrimeBits = 40;
+    auto t = baselines::CpuBaseline::measure(p, /*reps=*/1);
+    EXPECT_GT(t.hadd, 0);
+    EXPECT_GT(t.cmult, t.hadd);     // CMult costs far more than HAdd
+    EXPECT_GT(t.keyswitch, t.ntt);  // keyswitch contains many NTTs
+
+    isa::OpShape from;
+    from.n = p.degree();
+    from.limbs = p.L;
+    from.K = p.K;
+    isa::OpShape to = workloads::paper_shape();
+    auto big = baselines::CpuBaseline::scale_to(t, from, to);
+    EXPECT_GT(big.cmult, t.cmult * 100); // much bigger shape
+    EXPECT_GT(big.hadd, t.hadd);
+}
+
+} // namespace
+} // namespace poseidon
