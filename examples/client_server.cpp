@@ -1,10 +1,20 @@
 // Client/server deployment demo — the paper's Fig. 1 scenario over a
-// real serialization boundary. The client encodes+encrypts readings
-// and serializes ciphertext + evaluation keys; the "server" (a
-// separate function that only ever sees bytes) deserializes, computes
-// a weighted aggregate homomorphically, and serializes the result; the
-// client decrypts. Also prints the security estimate for the chosen
-// parameters.
+// real serialization boundary, hardened the way a deployed service has
+// to be. The client encodes+encrypts readings and serializes
+// ciphertext + evaluation keys; the "server" (a separate function that
+// only ever sees bytes) validates the request, computes a weighted
+// aggregate homomorphically, and serializes the result; the client
+// decrypts.
+//
+// On top of the happy path the demo exercises the service boundary:
+//   1. a corrupted request is answered with a structured error frame
+//      (typed code + message), never a crash;
+//   2. the accelerator model runs the server's workload under HBM
+//      fault injection at a nonzero bit-error rate and reports the
+//      SECDED ECC statistics;
+//   3. a run whose end-to-end integrity guard trips (silent corruption
+//      past ECC) raises poseidon::FaultDetected and is retried a
+//      bounded number of times.
 //
 // Build & run:  ./examples/client_server
 
@@ -16,38 +26,112 @@
 #include "ckks/evaluator.h"
 #include "ckks/security.h"
 #include "ckks/serialize.h"
+#include "common/logging.h"
+#include "hw/sim.h"
+#include "isa/compiler.h"
 
 using namespace poseidon;
 
 namespace {
 
+/// Deployment policy: what this server instance is provisioned for.
+/// Requests outside these bounds are rejected up front — before any
+/// context or key material is built from attacker-controlled sizes.
+constexpr unsigned kMaxLogN = 14;
+constexpr unsigned kMaxLevels = 8;
+
 /// The untrusted server: sees only serialized bytes, never a secret.
+/// Any failure — malformed bytes, policy violation, shape mismatch —
+/// is returned to the client as a structured error frame.
 std::string
 server_compute(const std::string &request)
 {
-    std::istringstream in(request);
-    CkksParams params = io::read_params(in);
-    auto ctx = make_ckks_context(params); // rebuilt from params alone
-    CkksEncoder encoder(ctx);
-    CkksEvaluator eval(ctx);
+    try {
+        std::istringstream in(request);
+        CkksParams params = io::read_params(in);
+        POSEIDON_REQUIRE(params.logN <= kMaxLogN,
+                         "server policy: ring degree 2^" << params.logN
+                         << " exceeds provisioned 2^" << kMaxLogN);
+        POSEIDON_REQUIRE(params.L <= kMaxLevels,
+                         "server policy: " << params.L
+                         << " levels exceed provisioned " << kMaxLevels);
 
-    GaloisKeys gk = io::read_galois_keys(in, ctx->ring());
-    Ciphertext ct = io::read_ciphertext(in, ctx->ring());
+        auto ctx = make_ckks_context(params); // rebuilt from params
+        CkksEncoder encoder(ctx);
+        CkksEvaluator eval(ctx);
 
-    // Weighted aggregate: score = sum_i w_i * x_i over 8 slots.
-    std::vector<double> weights = {0.30, 0.25, 0.15, 0.10,
-                                   0.08, 0.06, 0.04, 0.02};
-    Plaintext pw = encoder.encode_real(weights, ct.num_limbs());
-    Ciphertext prod = eval.mul_plain(ct, pw);
-    eval.rescale_inplace(prod);
-    for (std::size_t step = 4; step >= 1; step /= 2) {
-        prod = eval.add(prod,
-                        eval.rotate(prod, static_cast<long>(step), gk));
+        GaloisKeys gk = io::read_galois_keys(in, ctx->ring());
+        Ciphertext ct = io::read_ciphertext(in, ctx->ring());
+
+        // Weighted aggregate: score = sum_i w_i * x_i over 8 slots.
+        std::vector<double> weights = {0.30, 0.25, 0.15, 0.10,
+                                       0.08, 0.06, 0.04, 0.02};
+        Plaintext pw = encoder.encode_real(weights, ct.num_limbs());
+        Ciphertext prod = eval.mul_plain(ct, pw);
+        eval.rescale_inplace(prod);
+        for (std::size_t step = 4; step >= 1; step /= 2) {
+            prod = eval.add(prod,
+                            eval.rotate(prod, static_cast<long>(step),
+                                        gk));
+        }
+
+        std::ostringstream out;
+        io::write_ciphertext(out, prod);
+        return out.str();
+    } catch (const Error &e) {
+        std::ostringstream out;
+        io::write_error_frame(out, e.code(), e.message());
+        return out.str();
     }
+}
 
-    std::ostringstream out;
-    io::write_ciphertext(out, prod);
-    return out.str();
+/// The server workload lowered to an accelerator trace (mul_plain +
+/// rescale + 3 rotations at the request's shape).
+isa::Trace
+server_trace(const CkksParams &params)
+{
+    isa::OpShape shape;
+    shape.n = u64(1) << params.logN;
+    shape.limbs = params.L;
+    shape.K = params.K;
+    isa::Trace tr;
+    isa::emit_pmult(tr, shape);
+    isa::emit_rescale(tr, shape);
+    shape.limbs -= 1; // rotations run on the rescaled ciphertext
+    for (int i = 0; i < 3; ++i) isa::emit_rotation(tr, shape);
+    return tr;
+}
+
+/// Run the trace on the fault-injected accelerator model. A silent
+/// corruption (past SECDED) trips the end-to-end integrity guard and
+/// raises FaultDetected — the transient failure the retry loop
+/// absorbs.
+hw::SimResult
+run_on_accelerator(const isa::Trace &tr, double ber, u64 seed)
+{
+    hw::HwConfig cfg = hw::HwConfig::poseidon_u280();
+    cfg.faults.ber = ber;
+    cfg.faults.seed = seed;
+    hw::SimResult r = hw::PoseidonSim(cfg).run(tr);
+    if (r.faults.silent > 0) {
+        POSEIDON_THROW(FaultDetected,
+                       "integrity check failed: " << r.faults.silent
+                       << " word(s) corrupted past ECC");
+    }
+    return r;
+}
+
+void
+print_fault_stats(const hw::SimResult &r)
+{
+    std::printf("  words=%llu flips=%llu corrected=%llu detected=%llu "
+                "silent=%llu retry=%.0f cycles\n",
+                static_cast<unsigned long long>(r.faults.wordsTransferred),
+                static_cast<unsigned long long>(r.faults.bitFlips),
+                static_cast<unsigned long long>(r.faults.corrected),
+                static_cast<unsigned long long>(r.faults.detected),
+                static_cast<unsigned long long>(r.faults.silent),
+                r.faults.retryCycles);
 }
 
 } // namespace
@@ -94,6 +178,8 @@ main()
 
     // ---- Client decrypts ----
     std::istringstream response(responseBytes);
+    POSEIDON_CHECK(!io::is_error_frame(response),
+                   "well-formed request must not produce an error");
     Ciphertext result = io::read_ciphertext(response, ctx->ring());
     double got = encoder.decode(decryptor.decrypt(result))[0].real();
 
@@ -105,9 +191,65 @@ main()
     }
     std::printf("weighted aggregate: encrypted=%.6f  plaintext=%.6f  "
                 "err=%.2e\n", got, expect, std::abs(got - expect));
-
     bool ok = std::abs(got - expect) < 1e-3;
     std::printf("%s\n", ok ? "OK: server computed on data it never saw."
                            : "MISMATCH");
-    return ok ? 0 : 1;
+
+    // ---- A corrupted request gets a structured error, not a crash ----
+    std::printf("\n-- corrupted request --\n");
+    std::string corrupt = requestBytes;
+    hw::FaultInjector channel({/*ber=*/2e-6, /*seed=*/0xBADC0DEULL,
+                               /*secded=*/false});
+    u64 flipped = channel.corrupt(corrupt.data(), corrupt.size());
+    std::printf("channel flipped %llu bit(s) in transit\n",
+                static_cast<unsigned long long>(flipped));
+    std::istringstream errResponse(server_compute(corrupt));
+    bool gotErrorFrame = io::is_error_frame(errResponse);
+    if (gotErrorFrame) {
+        io::ErrorFrame frame = io::read_error_frame(errResponse);
+        std::printf("server answered error frame [%s]: %s\n",
+                    to_string(frame.code), frame.message.c_str());
+    } else {
+        // The flips may have landed on residues that still satisfy
+        // every structural check — then the request parses fine.
+        std::printf("corruption survived validation (residue-only "
+                    "flips)\n");
+    }
+
+    // A truncated request must answer the same way.
+    std::istringstream truncResponse(
+        server_compute(requestBytes.substr(0, requestBytes.size() / 2)));
+    POSEIDON_CHECK(io::is_error_frame(truncResponse),
+                   "truncated request must yield an error frame");
+    io::ErrorFrame truncFrame = io::read_error_frame(truncResponse);
+    std::printf("truncated request -> [%s]: %s\n",
+                to_string(truncFrame.code), truncFrame.message.c_str());
+
+    // ---- Accelerator run under HBM fault injection ----
+    std::printf("\n-- accelerator fault campaign (BER=5e-4) --\n");
+    isa::Trace tr = server_trace(params);
+    const double kBer = 5e-4;
+    hw::SimResult clean = hw::PoseidonSim().run(tr);
+    bool served = false;
+    for (u64 attempt = 1; attempt <= 4 && !served; ++attempt) {
+        try {
+            hw::SimResult r =
+                run_on_accelerator(tr, kBer, /*seed=*/attempt + 1);
+            print_fault_stats(r);
+            std::printf("attempt %llu: served in %.0f cycles "
+                        "(+%.0f vs fault-free)\n",
+                        static_cast<unsigned long long>(attempt),
+                        r.cycles, r.cycles - clean.cycles);
+            served = true;
+        } catch (const FaultDetected &e) {
+            std::printf("attempt %llu: %s -> retrying\n",
+                        static_cast<unsigned long long>(attempt),
+                        e.message().c_str());
+        }
+    }
+    if (!served) {
+        std::printf("accelerator unavailable after bounded retries\n");
+    }
+
+    return ok && gotErrorFrame && served ? 0 : 1;
 }

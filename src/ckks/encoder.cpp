@@ -20,11 +20,18 @@ array_bit_reverse(std::vector<cdouble> &vals)
     }
 }
 
+const CkksContextPtr&
+require_ctx(const CkksContextPtr &ctx)
+{
+    POSEIDON_REQUIRE(ctx != nullptr, "CkksEncoder: null context");
+    return ctx;
+}
+
 } // namespace
 
 CkksEncoder::CkksEncoder(CkksContextPtr ctx)
     : ctx_(std::move(ctx)),
-      slots_(ctx_->slots()),
+      slots_(require_ctx(ctx_)->slots()),
       m_(2 * ctx_->degree())
 {
     ksiPows_.resize(m_ + 1);
@@ -95,8 +102,14 @@ CkksEncoder::encode(const std::vector<cdouble> &values, std::size_t limbs,
                     double scale) const
 {
     POSEIDON_REQUIRE(values.size() <= slots_,
-                     "encode: too many values for the slot count");
+                     "encode: " << values.size() << " values exceed the "
+                     << slots_ << " available slots");
+    POSEIDON_REQUIRE(limbs >= 1 && limbs <= ctx_->params().L,
+                     "encode: limb count " << limbs << " outside [1, "
+                     << ctx_->params().L << "]");
     if (scale <= 0.0) scale = ctx_->params().scale();
+    POSEIDON_REQUIRE(std::isfinite(scale),
+                     "encode: scale must be finite, got " << scale);
 
     std::vector<cdouble> vals(slots_, cdouble(0, 0));
     std::copy(values.begin(), values.end(), vals.begin());
@@ -143,6 +156,14 @@ CkksEncoder::encode_scalar(cdouble value, std::size_t limbs,
 std::vector<cdouble>
 CkksEncoder::decode(const Plaintext &pt) const
 {
+    POSEIDON_REQUIRE_T(ShapeMismatch,
+                       pt.poly.degree() == ctx_->degree(),
+                       "decode: plaintext degree " << pt.poly.degree()
+                       << " does not match the context N="
+                       << ctx_->degree());
+    POSEIDON_REQUIRE(pt.scale > 0.0 && std::isfinite(pt.scale),
+                     "decode: plaintext carries invalid scale "
+                     << pt.scale);
     RnsPoly poly = pt.poly;
     poly.to_coeff();
 

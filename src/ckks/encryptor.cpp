@@ -1,18 +1,47 @@
 #include "ckks/encryptor.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace poseidon {
 
 CkksEncryptor::CkksEncryptor(CkksContextPtr ctx, PublicKey pk, u64 seed)
     : ctx_(std::move(ctx)), pk_(std::move(pk)), sampler_(seed)
-{}
+{
+    POSEIDON_REQUIRE(ctx_ != nullptr, "CkksEncryptor: null context");
+    POSEIDON_REQUIRE_T(ShapeMismatch,
+                       pk_.b.degree() == ctx_->degree() &&
+                       pk_.a.degree() == ctx_->degree(),
+                       "CkksEncryptor: public key degree does not match "
+                       "the context (N=" << ctx_->degree() << ")");
+    POSEIDON_REQUIRE_T(ShapeMismatch,
+                       pk_.b.num_limbs() >= ctx_->params().L &&
+                       pk_.a.num_limbs() >= ctx_->params().L,
+                       "CkksEncryptor: public key spans "
+                       << pk_.b.num_limbs() << " limbs, need "
+                       << ctx_->params().L);
+}
 
 Ciphertext
 CkksEncryptor::encrypt(const Plaintext &pt)
 {
     POSEIDON_REQUIRE(pt.poly.domain() == Domain::Eval,
                      "encrypt: plaintext must be in Eval domain");
+    POSEIDON_REQUIRE_T(ShapeMismatch,
+                       pt.poly.degree() == ctx_->degree(),
+                       "encrypt: plaintext degree " << pt.poly.degree()
+                       << " does not match the context N="
+                       << ctx_->degree());
+    POSEIDON_REQUIRE_T(ShapeMismatch,
+                       pt.num_limbs() >= 1 &&
+                       pt.num_limbs() <= ctx_->params().L,
+                       "encrypt: plaintext over " << pt.num_limbs()
+                       << " limbs outside [1, " << ctx_->params().L
+                       << "]");
+    POSEIDON_REQUIRE(pt.scale > 0.0 && std::isfinite(pt.scale),
+                     "encrypt: plaintext carries invalid scale "
+                     << pt.scale);
     std::size_t limbs = pt.num_limbs();
     std::size_t n = ctx_->degree();
     const auto &ring = ctx_->ring();
@@ -59,6 +88,12 @@ CkksEncryptor::encrypt_symmetric(const Plaintext &pt, const SecretKey &sk)
 {
     POSEIDON_REQUIRE(pt.poly.domain() == Domain::Eval,
                      "encrypt_symmetric: plaintext must be in Eval domain");
+    POSEIDON_REQUIRE_T(ShapeMismatch,
+                       pt.poly.degree() == ctx_->degree() &&
+                       sk.s.degree() == ctx_->degree(),
+                       "encrypt_symmetric: plaintext/secret degree does "
+                       "not match the context (N=" << ctx_->degree()
+                       << ")");
     std::size_t limbs = pt.num_limbs();
     std::size_t n = ctx_->degree();
     const auto &ring = ctx_->ring();
@@ -95,7 +130,13 @@ CkksEncryptor::encrypt_symmetric(const Plaintext &pt, const SecretKey &sk)
 
 CkksDecryptor::CkksDecryptor(CkksContextPtr ctx, SecretKey sk)
     : ctx_(std::move(ctx)), sk_(std::move(sk))
-{}
+{
+    POSEIDON_REQUIRE(ctx_ != nullptr, "CkksDecryptor: null context");
+    POSEIDON_REQUIRE_T(ShapeMismatch,
+                       sk_.s.degree() == ctx_->degree(),
+                       "CkksDecryptor: secret key degree does not match "
+                       "the context (N=" << ctx_->degree() << ")");
+}
 
 Plaintext
 CkksDecryptor::decrypt(const Ciphertext &ct) const
@@ -103,6 +144,15 @@ CkksDecryptor::decrypt(const Ciphertext &ct) const
     POSEIDON_REQUIRE(ct.c0.domain() == Domain::Eval &&
                      ct.c1.domain() == Domain::Eval,
                      "decrypt: ciphertext must be in Eval domain");
+    POSEIDON_REQUIRE_T(ShapeMismatch,
+                       ct.c0.num_limbs() == ct.c1.num_limbs(),
+                       "decrypt: ciphertext components disagree ("
+                       << ct.c0.num_limbs() << " vs "
+                       << ct.c1.num_limbs() << " limbs)");
+    POSEIDON_REQUIRE_T(ShapeMismatch, ct.degree() == ctx_->degree(),
+                       "decrypt: ciphertext degree " << ct.degree()
+                       << " does not match the context N="
+                       << ctx_->degree());
     std::size_t limbs = ct.num_limbs();
     std::size_t n = ctx_->degree();
     const auto &ring = ctx_->ring();

@@ -24,16 +24,26 @@ scales_close(double a, double b)
 
 CkksEvaluator::CkksEvaluator(CkksContextPtr ctx)
     : ctx_(std::move(ctx))
-{}
+{
+    POSEIDON_REQUIRE(ctx_ != nullptr, "CkksEvaluator: null context");
+}
 
 void
 CkksEvaluator::check_same_shape(const Ciphertext &a,
                                 const Ciphertext &b) const
 {
-    POSEIDON_REQUIRE(a.num_limbs() == b.num_limbs(),
-                     "evaluator: operands at different levels");
-    POSEIDON_REQUIRE(scales_close(a.scale, b.scale),
-                     "evaluator: operands at different scales");
+    POSEIDON_REQUIRE_T(ShapeMismatch,
+                       a.degree() == ctx_->degree() &&
+                       b.degree() == ctx_->degree(),
+                       "evaluator: ciphertext degree does not match "
+                       "the context (N=" << ctx_->degree() << ")");
+    POSEIDON_REQUIRE_T(ShapeMismatch, a.num_limbs() == b.num_limbs(),
+                       "evaluator: operands at different levels ("
+                       << a.num_limbs() << " vs " << b.num_limbs()
+                       << " limbs)");
+    POSEIDON_REQUIRE_T(ShapeMismatch, scales_close(a.scale, b.scale),
+                       "evaluator: operands at different scales ("
+                       << a.scale << " vs " << b.scale << ")");
 }
 
 Ciphertext
@@ -80,10 +90,12 @@ CkksEvaluator::negate(const Ciphertext &a) const
 Ciphertext
 CkksEvaluator::add_plain(const Ciphertext &a, const Plaintext &p) const
 {
-    POSEIDON_REQUIRE(a.num_limbs() == p.num_limbs(),
-                     "add_plain: level mismatch");
-    POSEIDON_REQUIRE(scales_close(a.scale, p.scale),
-                     "add_plain: scale mismatch");
+    POSEIDON_REQUIRE_T(ShapeMismatch, a.num_limbs() == p.num_limbs(),
+                       "add_plain: level mismatch (" << a.num_limbs()
+                       << " vs " << p.num_limbs() << " limbs)");
+    POSEIDON_REQUIRE_T(ShapeMismatch, scales_close(a.scale, p.scale),
+                       "add_plain: scale mismatch (" << a.scale
+                       << " vs " << p.scale << ")");
     Ciphertext out = a;
     out.c0.add_inplace(p.poly);
     return out;
@@ -92,10 +104,12 @@ CkksEvaluator::add_plain(const Ciphertext &a, const Plaintext &p) const
 Ciphertext
 CkksEvaluator::sub_plain(const Ciphertext &a, const Plaintext &p) const
 {
-    POSEIDON_REQUIRE(a.num_limbs() == p.num_limbs(),
-                     "sub_plain: level mismatch");
-    POSEIDON_REQUIRE(scales_close(a.scale, p.scale),
-                     "sub_plain: scale mismatch");
+    POSEIDON_REQUIRE_T(ShapeMismatch, a.num_limbs() == p.num_limbs(),
+                       "sub_plain: level mismatch (" << a.num_limbs()
+                       << " vs " << p.num_limbs() << " limbs)");
+    POSEIDON_REQUIRE_T(ShapeMismatch, scales_close(a.scale, p.scale),
+                       "sub_plain: scale mismatch (" << a.scale
+                       << " vs " << p.scale << ")");
     Ciphertext out = a;
     out.c0.sub_inplace(p.poly);
     return out;
@@ -104,8 +118,9 @@ CkksEvaluator::sub_plain(const Ciphertext &a, const Plaintext &p) const
 Ciphertext
 CkksEvaluator::mul_plain(const Ciphertext &a, const Plaintext &p) const
 {
-    POSEIDON_REQUIRE(a.num_limbs() == p.num_limbs(),
-                     "mul_plain: level mismatch");
+    POSEIDON_REQUIRE_T(ShapeMismatch, a.num_limbs() == p.num_limbs(),
+                       "mul_plain: level mismatch (" << a.num_limbs()
+                       << " vs " << p.num_limbs() << " limbs)");
     Ciphertext out = a;
     out.c0.mul_inplace(p.poly);
     out.c1.mul_inplace(p.poly);
@@ -161,8 +176,11 @@ Ciphertext
 CkksEvaluator::mul(const Ciphertext &a, const Ciphertext &b,
                    const KSwitchKey &relinKey) const
 {
-    POSEIDON_REQUIRE(a.num_limbs() == b.num_limbs(),
-                     "mul: level mismatch");
+    POSEIDON_REQUIRE_T(ShapeMismatch, a.num_limbs() == b.num_limbs(),
+                       "mul: level mismatch (" << a.num_limbs()
+                       << " vs " << b.num_limbs() << " limbs)");
+    POSEIDON_REQUIRE(!relinKey.empty(),
+                     "mul: empty relinearization key");
     std::size_t n = ctx_->degree();
     const auto &ring = ctx_->ring();
     std::size_t limbs = a.num_limbs();
@@ -316,8 +334,10 @@ CkksEvaluator::keyswitch_core(const RnsPoly &d, const KSwitchKey &key) const
     std::size_t n = ctx_->degree();
     std::size_t limbs = d.num_limbs();
     std::size_t numDigits = ctx_->num_digits(limbs);
-    POSEIDON_REQUIRE(key.pieces.size() >= numDigits,
-                     "keyswitch_core: malformed switching key");
+    POSEIDON_REQUIRE_T(ShapeMismatch, key.pieces.size() >= numDigits,
+                       "keyswitch_core: switching key has "
+                       << key.pieces.size() << " pieces, need "
+                       << numDigits);
 
     std::vector<std::size_t> extIdx = extended_indices(limbs);
 
@@ -383,8 +403,8 @@ CkksEvaluator::rescale_poly(RnsPoly &p) const
 void
 CkksEvaluator::rescale_inplace(Ciphertext &a) const
 {
-    POSEIDON_REQUIRE(a.num_limbs() >= 2,
-                     "rescale: no modulus left to drop");
+    POSEIDON_REQUIRE_T(NoiseBudgetExhausted, a.num_limbs() >= 2,
+                       "rescale: no modulus level left to drop");
     u64 ql = a.c0.prime(a.num_limbs() - 1);
     rescale_poly(a.c0);
     rescale_poly(a.c1);
@@ -402,13 +422,16 @@ CkksEvaluator::rescale(const Ciphertext &a) const
 Ciphertext
 CkksEvaluator::adjust_scale(const Ciphertext &a, double targetScale) const
 {
-    POSEIDON_REQUIRE(a.num_limbs() >= 2,
-                     "adjust_scale: needs a level to spend");
-    POSEIDON_REQUIRE(targetScale > 0, "adjust_scale: bad target scale");
+    POSEIDON_REQUIRE_T(NoiseBudgetExhausted, a.num_limbs() >= 2,
+                       "adjust_scale: needs a level to spend");
+    POSEIDON_REQUIRE(targetScale > 0, "adjust_scale: bad target scale "
+                     << targetScale);
     u64 q = a.c0.prime(a.num_limbs() - 1);
     double e = targetScale * static_cast<double>(q) / a.scale;
-    POSEIDON_REQUIRE(e >= 1.0,
-                     "adjust_scale: target too small for this level");
+    POSEIDON_REQUIRE_T(NoiseBudgetExhausted, e >= 1.0,
+                       "adjust_scale: target scale " << targetScale
+                       << " unreachable from " << a.scale
+                       << " at this level");
     Ciphertext out = mul_scalar(a, 1.0, e);
     rescale_inplace(out);
     // Kill floating-point drift: the scale is targetScale by
@@ -422,7 +445,8 @@ void
 CkksEvaluator::equalize_inplace(Ciphertext &a, Ciphertext &b) const
 {
     std::size_t limbs = std::min(a.num_limbs(), b.num_limbs());
-    POSEIDON_REQUIRE(limbs >= 2, "equalize: needs a level to spend");
+    POSEIDON_REQUIRE_T(NoiseBudgetExhausted, limbs >= 2,
+                       "equalize: needs a level to spend");
     drop_to_limbs_inplace(a, limbs);
     drop_to_limbs_inplace(b, limbs);
     double target = std::min(a.scale, b.scale);
@@ -495,8 +519,10 @@ CkksEvaluator::rotate_hoisted(const Ciphertext &a,
             continue;
         }
         const KSwitchKey &key = keys.get(g);
-        POSEIDON_REQUIRE(key.pieces.size() >= numDigits,
-                         "rotate_hoisted: malformed switching key");
+        POSEIDON_REQUIRE_T(ShapeMismatch, key.pieces.size() >= numDigits,
+                           "rotate_hoisted: switching key has "
+                           << key.pieces.size() << " pieces, need "
+                           << numDigits);
         std::vector<u32> perm = make_eval_permutation(n, g);
 
         RnsPoly acc0(ring, extIdx, Domain::Eval);

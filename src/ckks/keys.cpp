@@ -10,12 +10,17 @@ GaloisKeys::get(u64 galois) const
 {
     auto it = keys.find(galois);
     POSEIDON_REQUIRE(it != keys.end(),
-                     "GaloisKeys: no key for requested galois element");
+                     "GaloisKeys: no key for galois element " << galois
+                     << " (have " << keys.size() << " keys)");
     return it->second;
 }
 
 KeyGenerator::KeyGenerator(CkksContextPtr ctx)
-    : ctx_(std::move(ctx)), sampler_(ctx_->params().seed)
+    : ctx_([&] {
+          POSEIDON_REQUIRE(ctx != nullptr, "KeyGenerator: null context");
+          return std::move(ctx);
+      }()),
+      sampler_(ctx_->params().seed)
 {
     const auto &ring = ctx_->ring();
     allIdx_.resize(ring->num_primes());
@@ -125,6 +130,10 @@ KeyGenerator::make_relin_key()
 KSwitchKey
 KeyGenerator::make_galois_key(u64 galois)
 {
+    POSEIDON_REQUIRE(galois % 2 == 1 && galois < 2 * ctx_->degree(),
+                     "make_galois_key: galois element " << galois
+                     << " must be odd and < 2N = "
+                     << 2 * ctx_->degree());
     RnsPoly sg = automorphism(sk_.s, galois);
     return make_kswitch_key(sg);
 }

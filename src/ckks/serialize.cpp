@@ -1,6 +1,7 @@
 #include <cstring>
 #include "ckks/serialize.h"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
 
@@ -10,6 +11,10 @@ namespace poseidon::io {
 
 namespace {
 
+/// Wire format version, packed into the high half of every magic word.
+/// Bump when the byte layout of any object changes.
+constexpr u64 kFormatVersion = 1;
+
 constexpr u64 kMagicParams = 0x50534431u;  // "PSD1"
 constexpr u64 kMagicPoly = 0x50534432u;
 constexpr u64 kMagicCiphertext = 0x50534433u;
@@ -18,6 +23,10 @@ constexpr u64 kMagicSecret = 0x50534435u;
 constexpr u64 kMagicPublic = 0x50534436u;
 constexpr u64 kMagicKSwitch = 0x50534437u;
 constexpr u64 kMagicGalois = 0x50534438u;
+constexpr u64 kMagicError = 0x50534445u;   // "PSDE"
+
+/// Longest error-frame message accepted from the wire.
+constexpr u64 kMaxErrorMessage = 4096;
 
 void
 put_u64(std::ostream &os, u64 v)
@@ -32,7 +41,8 @@ get_u64(std::istream &is)
 {
     unsigned char buf[8];
     is.read(reinterpret_cast<char*>(buf), 8);
-    POSEIDON_REQUIRE(is.good(), "serialize: truncated stream");
+    POSEIDON_REQUIRE_T(ParseError, is.good(),
+                       "serialize: truncated stream");
     u64 v = 0;
     for (int i = 0; i < 8; ++i) v |= u64(buf[i]) << (8 * i);
     return v;
@@ -56,11 +66,57 @@ get_double(std::istream &is)
     return d;
 }
 
+/// A positive, finite scale — anything else on the wire is hostile.
+double
+get_scale(std::istream &is, const char *what)
+{
+    double s = get_double(is);
+    POSEIDON_REQUIRE_T(ParseError, std::isfinite(s) && s > 0.0,
+                       "serialize: " << what
+                       << " carries a non-finite or non-positive scale");
+    return s;
+}
+
+void
+put_magic(std::ostream &os, u64 magic)
+{
+    put_u64(os, magic | (kFormatVersion << 32));
+}
+
 void
 expect_magic(std::istream &is, u64 magic, const char *what)
 {
-    POSEIDON_REQUIRE(get_u64(is) == magic,
-                     std::string("serialize: bad magic for ") + what);
+    u64 v = get_u64(is);
+    POSEIDON_REQUIRE_T(ParseError, (v & 0xffffffffu) == magic,
+                       "serialize: bad magic for " << what);
+    u64 version = v >> 32;
+    POSEIDON_REQUIRE_T(ParseError, version == kFormatVersion,
+                       "serialize: " << what << " has format version "
+                       << version << ", this build reads version "
+                       << kFormatVersion);
+}
+
+/**
+ * Translate any non-ParseError failure escaping a reader (invariant
+ * trips in nested constructors, allocation failure) into ParseError:
+ * at the service boundary every malformed input must surface as one
+ * catchable type.
+ */
+template <typename Fn>
+auto
+parse_guard(const char *what, Fn &&fn) -> decltype(fn())
+{
+    try {
+        return fn();
+    } catch (const ParseError&) {
+        throw;
+    } catch (const Error &e) {
+        POSEIDON_THROW(ParseError, "serialize: reading " << what
+                       << " failed: " << e.message());
+    } catch (const std::bad_alloc&) {
+        POSEIDON_THROW(ParseError, "serialize: reading " << what
+                       << " exceeded memory bounds");
+    }
 }
 
 } // namespace
@@ -68,7 +124,7 @@ expect_magic(std::istream &is, u64 magic, const char *what)
 void
 write_params(std::ostream &os, const CkksParams &p)
 {
-    put_u64(os, kMagicParams);
+    put_magic(os, kMagicParams);
     put_u64(os, p.logN);
     put_u64(os, p.L);
     put_u64(os, p.scaleBits);
@@ -82,23 +138,61 @@ write_params(std::ostream &os, const CkksParams &p)
 CkksParams
 read_params(std::istream &is)
 {
+  return parse_guard("CkksParams", [&] {
     expect_magic(is, kMagicParams, "CkksParams");
+    u64 logN = get_u64(is);
+    u64 L = get_u64(is);
+    u64 scaleBits = get_u64(is);
+    u64 firstPrimeBits = get_u64(is);
+    u64 specialPrimeBits = get_u64(is);
+    u64 K = get_u64(is);
+    u64 dnum = get_u64(is);
+    u64 seed = get_u64(is);
+
+    // Sanity bounds: a context built from accepted parameters must
+    // stay within the library's own limits, so a hostile stream cannot
+    // drive unbounded table allocation downstream.
+    POSEIDON_REQUIRE_T(ParseError, logN >= 3 && logN <= 17,
+                       "read_params: logN " << logN
+                       << " outside [3, 17]");
+    POSEIDON_REQUIRE_T(ParseError, L >= 1 && L <= 64,
+                       "read_params: chain length " << L
+                       << " outside [1, 64]");
+    POSEIDON_REQUIRE_T(ParseError, scaleBits >= 1 && scaleBits <= 61,
+                       "read_params: scaleBits " << scaleBits
+                       << " outside [1, 61]");
+    POSEIDON_REQUIRE_T(ParseError,
+                       firstPrimeBits >= 1 && firstPrimeBits <= 61,
+                       "read_params: firstPrimeBits " << firstPrimeBits
+                       << " outside [1, 61]");
+    POSEIDON_REQUIRE_T(ParseError,
+                       specialPrimeBits >= 1 && specialPrimeBits <= 61,
+                       "read_params: specialPrimeBits "
+                       << specialPrimeBits << " outside [1, 61]");
+    POSEIDON_REQUIRE_T(ParseError, K >= 1 && K <= 16,
+                       "read_params: special prime count " << K
+                       << " outside [1, 16]");
+    POSEIDON_REQUIRE_T(ParseError, dnum <= L,
+                       "read_params: dnum " << dnum
+                       << " exceeds chain length " << L);
+
     CkksParams p;
-    p.logN = static_cast<unsigned>(get_u64(is));
-    p.L = get_u64(is);
-    p.scaleBits = static_cast<unsigned>(get_u64(is));
-    p.firstPrimeBits = static_cast<unsigned>(get_u64(is));
-    p.specialPrimeBits = static_cast<unsigned>(get_u64(is));
-    p.K = get_u64(is);
-    p.dnum = get_u64(is);
-    p.seed = get_u64(is);
+    p.logN = static_cast<unsigned>(logN);
+    p.L = L;
+    p.scaleBits = static_cast<unsigned>(scaleBits);
+    p.firstPrimeBits = static_cast<unsigned>(firstPrimeBits);
+    p.specialPrimeBits = static_cast<unsigned>(specialPrimeBits);
+    p.K = K;
+    p.dnum = dnum;
+    p.seed = seed;
     return p;
+  });
 }
 
 void
 write_poly(std::ostream &os, const RnsPoly &p)
 {
-    put_u64(os, kMagicPoly);
+    put_magic(os, kMagicPoly);
     put_u64(os, p.degree());
     put_u64(os, p.num_limbs());
     put_u64(os, p.domain() == Domain::Eval ? 1 : 0);
@@ -110,31 +204,50 @@ write_poly(std::ostream &os, const RnsPoly &p)
     }
 }
 
+namespace {
+
 RnsPoly
-read_poly(std::istream &is, const RingContextPtr &ring)
+read_poly_impl(std::istream &is, const RingContextPtr &ring)
 {
     expect_magic(is, kMagicPoly, "RnsPoly");
     u64 n = get_u64(is);
-    POSEIDON_REQUIRE(n == ring->degree(),
-                     "read_poly: degree mismatch with context");
+    POSEIDON_REQUIRE_T(ParseError, n == ring->degree(),
+                       "read_poly: declared degree " << n
+                       << " does not match the context N="
+                       << ring->degree());
     u64 limbs = get_u64(is);
-    Domain d = get_u64(is) ? Domain::Eval : Domain::Coeff;
+    // Bound the declared size BEFORE any allocation: a hostile limb
+    // count must not drive memory consumption.
+    POSEIDON_REQUIRE_T(ParseError,
+                       limbs >= 1 && limbs <= ring->num_primes(),
+                       "read_poly: declared limb count " << limbs
+                       << " outside [1, " << ring->num_primes() << "]");
+    u64 domainFlag = get_u64(is);
+    POSEIDON_REQUIRE_T(ParseError, domainFlag <= 1,
+                       "read_poly: bad domain flag " << domainFlag);
+    Domain d = domainFlag ? Domain::Eval : Domain::Coeff;
 
     std::vector<std::size_t> idx(limbs);
     std::vector<std::vector<u64>> data(limbs);
+    std::vector<bool> seen(ring->num_primes(), false);
     for (u64 k = 0; k < limbs; ++k) {
         idx[k] = get_u64(is);
-        POSEIDON_REQUIRE(idx[k] < ring->num_primes(),
-                         "read_poly: prime index out of range");
+        POSEIDON_REQUIRE_T(ParseError, idx[k] < ring->num_primes(),
+                           "read_poly: prime index " << idx[k]
+                           << " out of range");
+        POSEIDON_REQUIRE_T(ParseError, !seen[idx[k]],
+                           "read_poly: duplicate prime index "
+                           << idx[k]);
+        seen[idx[k]] = true;
         u64 prime = get_u64(is);
-        POSEIDON_REQUIRE(prime == ring->prime(idx[k]),
-                         "read_poly: prime chain mismatch — wrong "
-                         "context for this stream");
+        POSEIDON_REQUIRE_T(ParseError, prime == ring->prime(idx[k]),
+                           "read_poly: prime chain mismatch — wrong "
+                           "context for this stream");
         data[k].resize(n);
         for (u64 t = 0; t < n; ++t) {
             data[k][t] = get_u64(is);
-            POSEIDON_REQUIRE(data[k][t] < prime,
-                             "read_poly: residue out of range");
+            POSEIDON_REQUIRE_T(ParseError, data[k][t] < prime,
+                               "read_poly: residue out of range");
         }
     }
     RnsPoly p(ring, idx, d);
@@ -144,10 +257,31 @@ read_poly(std::istream &is, const RingContextPtr &ring)
     return p;
 }
 
+/// Require a poly to sit on the contiguous ciphertext basis
+/// {q_0..q_{limbs-1}} — what every ciphertext/plaintext component uses.
+void
+require_ct_basis(const RnsPoly &p, const char *what)
+{
+    for (std::size_t k = 0; k < p.num_limbs(); ++k) {
+        POSEIDON_REQUIRE_T(ParseError, p.prime_index(k) == k,
+                           "serialize: " << what << " is not on the "
+                           "contiguous ciphertext basis");
+    }
+}
+
+} // namespace
+
+RnsPoly
+read_poly(std::istream &is, const RingContextPtr &ring)
+{
+    return parse_guard("RnsPoly",
+                       [&] { return read_poly_impl(is, ring); });
+}
+
 void
 write_ciphertext(std::ostream &os, const Ciphertext &ct)
 {
-    put_u64(os, kMagicCiphertext);
+    put_magic(os, kMagicCiphertext);
     put_double(os, ct.scale);
     write_poly(os, ct.c0);
     write_poly(os, ct.c1);
@@ -156,18 +290,30 @@ write_ciphertext(std::ostream &os, const Ciphertext &ct)
 Ciphertext
 read_ciphertext(std::istream &is, const RingContextPtr &ring)
 {
+  return parse_guard("Ciphertext", [&] {
     expect_magic(is, kMagicCiphertext, "Ciphertext");
     Ciphertext ct;
-    ct.scale = get_double(is);
-    ct.c0 = read_poly(is, ring);
-    ct.c1 = read_poly(is, ring);
+    ct.scale = get_scale(is, "Ciphertext");
+    ct.c0 = read_poly_impl(is, ring);
+    ct.c1 = read_poly_impl(is, ring);
+    POSEIDON_REQUIRE_T(ParseError,
+                       ct.c0.num_limbs() == ct.c1.num_limbs(),
+                       "read_ciphertext: components disagree ("
+                       << ct.c0.num_limbs() << " vs "
+                       << ct.c1.num_limbs() << " limbs)");
+    POSEIDON_REQUIRE_T(ParseError, ct.c0.domain() == ct.c1.domain(),
+                       "read_ciphertext: components in different "
+                       "domains");
+    require_ct_basis(ct.c0, "ciphertext c0");
+    require_ct_basis(ct.c1, "ciphertext c1");
     return ct;
+  });
 }
 
 void
 write_plaintext(std::ostream &os, const Plaintext &pt)
 {
-    put_u64(os, kMagicPlaintext);
+    put_magic(os, kMagicPlaintext);
     put_double(os, pt.scale);
     write_poly(os, pt.poly);
 }
@@ -175,31 +321,42 @@ write_plaintext(std::ostream &os, const Plaintext &pt)
 Plaintext
 read_plaintext(std::istream &is, const RingContextPtr &ring)
 {
+  return parse_guard("Plaintext", [&] {
     expect_magic(is, kMagicPlaintext, "Plaintext");
     Plaintext pt;
-    pt.scale = get_double(is);
-    pt.poly = read_poly(is, ring);
+    pt.scale = get_scale(is, "Plaintext");
+    pt.poly = read_poly_impl(is, ring);
+    require_ct_basis(pt.poly, "plaintext");
     return pt;
+  });
 }
 
 void
 write_secret_key(std::ostream &os, const SecretKey &sk)
 {
-    put_u64(os, kMagicSecret);
+    put_magic(os, kMagicSecret);
     write_poly(os, sk.s);
 }
 
 SecretKey
 read_secret_key(std::istream &is, const RingContextPtr &ring)
 {
+  return parse_guard("SecretKey", [&] {
     expect_magic(is, kMagicSecret, "SecretKey");
-    return SecretKey{read_poly(is, ring)};
+    SecretKey sk{read_poly_impl(is, ring)};
+    POSEIDON_REQUIRE_T(ParseError,
+                       sk.s.num_limbs() == ring->num_primes(),
+                       "read_secret_key: secret spans "
+                       << sk.s.num_limbs() << " limbs, the chain has "
+                       << ring->num_primes());
+    return sk;
+  });
 }
 
 void
 write_public_key(std::ostream &os, const PublicKey &pk)
 {
-    put_u64(os, kMagicPublic);
+    put_magic(os, kMagicPublic);
     write_poly(os, pk.b);
     write_poly(os, pk.a);
 }
@@ -207,17 +364,26 @@ write_public_key(std::ostream &os, const PublicKey &pk)
 PublicKey
 read_public_key(std::istream &is, const RingContextPtr &ring)
 {
+  return parse_guard("PublicKey", [&] {
     expect_magic(is, kMagicPublic, "PublicKey");
     PublicKey pk;
-    pk.b = read_poly(is, ring);
-    pk.a = read_poly(is, ring);
+    pk.b = read_poly_impl(is, ring);
+    pk.a = read_poly_impl(is, ring);
+    POSEIDON_REQUIRE_T(ParseError,
+                       pk.b.num_limbs() == pk.a.num_limbs(),
+                       "read_public_key: components disagree ("
+                       << pk.b.num_limbs() << " vs "
+                       << pk.a.num_limbs() << " limbs)");
+    require_ct_basis(pk.b, "public key b");
+    require_ct_basis(pk.a, "public key a");
     return pk;
+  });
 }
 
 void
 write_kswitch_key(std::ostream &os, const KSwitchKey &k)
 {
-    put_u64(os, kMagicKSwitch);
+    put_magic(os, kMagicKSwitch);
     put_u64(os, k.pieces.size());
     for (const auto &piece : k.pieces) {
         write_poly(os, piece.b);
@@ -225,26 +391,49 @@ write_kswitch_key(std::ostream &os, const KSwitchKey &k)
     }
 }
 
+namespace {
+
 KSwitchKey
-read_kswitch_key(std::istream &is, const RingContextPtr &ring)
+read_kswitch_key_impl(std::istream &is, const RingContextPtr &ring)
 {
     expect_magic(is, kMagicKSwitch, "KSwitchKey");
     u64 count = get_u64(is);
+    // One piece per RNS digit: never more digits than chain primes.
+    POSEIDON_REQUIRE_T(ParseError,
+                       count >= 1 && count <= ring->num_primes(),
+                       "read_kswitch_key: declared piece count "
+                       << count << " outside [1, "
+                       << ring->num_primes() << "]");
     KSwitchKey k;
     k.pieces.reserve(count);
     for (u64 i = 0; i < count; ++i) {
         KSwitchKey::Piece piece;
-        piece.b = read_poly(is, ring);
-        piece.a = read_poly(is, ring);
+        piece.b = read_poly_impl(is, ring);
+        piece.a = read_poly_impl(is, ring);
+        POSEIDON_REQUIRE_T(ParseError,
+                           piece.b.num_limbs() == piece.a.num_limbs(),
+                           "read_kswitch_key: piece " << i
+                           << " components disagree ("
+                           << piece.b.num_limbs() << " vs "
+                           << piece.a.num_limbs() << " limbs)");
         k.pieces.push_back(std::move(piece));
     }
     return k;
 }
 
+} // namespace
+
+KSwitchKey
+read_kswitch_key(std::istream &is, const RingContextPtr &ring)
+{
+    return parse_guard("KSwitchKey",
+                       [&] { return read_kswitch_key_impl(is, ring); });
+}
+
 void
 write_galois_keys(std::ostream &os, const GaloisKeys &gk)
 {
-    put_u64(os, kMagicGalois);
+    put_magic(os, kMagicGalois);
     put_u64(os, gk.keys.size());
     for (const auto &[g, key] : gk.keys) {
         put_u64(os, g);
@@ -255,14 +444,78 @@ write_galois_keys(std::ostream &os, const GaloisKeys &gk)
 GaloisKeys
 read_galois_keys(std::istream &is, const RingContextPtr &ring)
 {
+  return parse_guard("GaloisKeys", [&] {
     expect_magic(is, kMagicGalois, "GaloisKeys");
     u64 count = get_u64(is);
+    // Distinct odd galois elements mod 2N: at most N of them.
+    POSEIDON_REQUIRE_T(ParseError, count <= ring->degree(),
+                       "read_galois_keys: declared key count " << count
+                       << " exceeds " << ring->degree());
     GaloisKeys gk;
     for (u64 i = 0; i < count; ++i) {
         u64 g = get_u64(is);
-        gk.keys.emplace(g, read_kswitch_key(is, ring));
+        POSEIDON_REQUIRE_T(ParseError,
+                           g % 2 == 1 && g < 2 * ring->degree(),
+                           "read_galois_keys: element " << g
+                           << " must be odd and < 2N");
+        POSEIDON_REQUIRE_T(ParseError, !gk.has(g),
+                           "read_galois_keys: duplicate element " << g);
+        gk.keys.emplace(g, read_kswitch_key_impl(is, ring));
     }
     return gk;
+  });
+}
+
+void
+write_error_frame(std::ostream &os, ErrorCode code,
+                  const std::string &message)
+{
+    put_magic(os, kMagicError);
+    put_u64(os, static_cast<u64>(code));
+    std::string clipped = message.substr(0, kMaxErrorMessage);
+    put_u64(os, clipped.size());
+    os.write(clipped.data(),
+             static_cast<std::streamsize>(clipped.size()));
+}
+
+ErrorFrame
+read_error_frame(std::istream &is)
+{
+  return parse_guard("ErrorFrame", [&] {
+    expect_magic(is, kMagicError, "ErrorFrame");
+    u64 code = get_u64(is);
+    POSEIDON_REQUIRE_T(ParseError,
+                       code <= static_cast<u64>(ErrorCode::kInternal),
+                       "read_error_frame: unknown error code " << code);
+    u64 len = get_u64(is);
+    POSEIDON_REQUIRE_T(ParseError, len <= kMaxErrorMessage,
+                       "read_error_frame: message length " << len
+                       << " exceeds " << kMaxErrorMessage);
+    std::string message(len, '\0');
+    if (len > 0) {
+        is.read(message.data(), static_cast<std::streamsize>(len));
+        POSEIDON_REQUIRE_T(ParseError,
+                           is.gcount() ==
+                               static_cast<std::streamsize>(len),
+                           "read_error_frame: truncated message");
+    }
+    return ErrorFrame{static_cast<ErrorCode>(code), std::move(message)};
+  });
+}
+
+bool
+is_error_frame(std::istream &is)
+{
+    std::streampos pos = is.tellg();
+    unsigned char buf[8];
+    is.read(reinterpret_cast<char*>(buf), 8);
+    bool full = is.gcount() == 8;
+    is.clear();
+    is.seekg(pos);
+    if (!full) return false;
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= u64(buf[i]) << (8 * i);
+    return (v & 0xffffffffu) == kMagicError;
 }
 
 } // namespace poseidon::io

@@ -9,16 +9,26 @@
  * accelerator host loads them into HBM.
  *
  * Format: little-endian fixed-width integers with per-object magic
- * tags. Polynomials are bound to a context at load time; the caller is
+ * tags; every magic word carries the wire-format version in its high
+ * half, so readers reject streams from incompatible builds up front.
+ * Polynomials are bound to a context at load time; the caller is
  * responsible for loading against a context built from the same
  * serialized parameters (the prime chain is revalidated on load).
+ *
+ * Every reader validates the stream before trusting it: declared
+ * sizes are bounded before any allocation, limb/degree/prime-chain
+ * structure is cross-checked against the bound context, and any
+ * malformed, truncated or adversarial input raises
+ * poseidon::ParseError — never a crash, never another exception type.
  */
 
 #include <iosfwd>
+#include <string>
 
 #include "ckks/ciphertext.h"
 #include "ckks/keys.h"
 #include "ckks/params.h"
+#include "common/status.h"
 
 namespace poseidon::io {
 
@@ -51,6 +61,28 @@ KSwitchKey read_kswitch_key(std::istream &is,
 void write_galois_keys(std::ostream &os, const GaloisKeys &gk);
 GaloisKeys read_galois_keys(std::istream &is,
                             const RingContextPtr &ring);
+
+// ---- Structured error responses ----
+//
+// A server that fails to process a request answers with an error frame
+// instead of a result object: the typed ErrorCode plus a bounded
+// human-readable message. Clients test the next object with
+// is_error_frame() before parsing a payload.
+
+/// One serialized service error.
+struct ErrorFrame
+{
+    ErrorCode code = ErrorCode::kOk;
+    std::string message;
+};
+
+void write_error_frame(std::ostream &os, ErrorCode code,
+                       const std::string &message);
+ErrorFrame read_error_frame(std::istream &is);
+
+/// Peek (without consuming) whether the stream's next object is an
+/// error frame. Requires a seekable stream.
+bool is_error_frame(std::istream &is);
 
 } // namespace poseidon::io
 

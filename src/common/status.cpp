@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+#include <sstream>
+
+namespace poseidon {
+
+namespace {
+
+std::string
+format_what(ErrorCode code, const std::string &message,
+            const char *file, int line)
+{
+    std::ostringstream oss;
+    oss << "poseidon: [" << to_string(code) << "] " << message;
+    if (file != nullptr && *file != '\0') {
+        oss << " (" << file << ":" << line << ")";
+    }
+    return oss.str();
+}
+
+} // namespace
+
+const char*
+to_string(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk: return "Ok";
+      case ErrorCode::kInvalidArgument: return "InvalidArgument";
+      case ErrorCode::kParseError: return "ParseError";
+      case ErrorCode::kShapeMismatch: return "ShapeMismatch";
+      case ErrorCode::kNoiseBudgetExhausted: return "NoiseBudgetExhausted";
+      case ErrorCode::kFaultDetected: return "FaultDetected";
+      case ErrorCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+}
+
+Error::Error(ErrorCode code, const std::string &message,
+             const char *file, int line)
+    : std::runtime_error(format_what(code, message, file, line)),
+      code_(code),
+      message_(message),
+      file_(file != nullptr ? file : ""),
+      line_(line)
+{}
+
+} // namespace poseidon

@@ -1,0 +1,126 @@
+#ifndef POSEIDON_COMMON_STATUS_H_
+#define POSEIDON_COMMON_STATUS_H_
+
+/**
+ * @file
+ * Typed error hierarchy for the Poseidon library.
+ *
+ * The deployment model (paper Fig. 1) has an untrusted server ingesting
+ * client bytes and an FPGA+HBM datapath executing on them; every
+ * failure at that boundary must be classifiable so the service layer
+ * can map it to a structured response instead of dying. Each error
+ * carries a stable ErrorCode, the failing source location, and a
+ * human-readable context string.
+ *
+ *   Error                   base (std::runtime_error)
+ *   ├─ InvalidArgument      bad parameter / API misuse
+ *   ├─ ParseError           malformed, truncated or adversarial bytes
+ *   ├─ ShapeMismatch        level / scale / limb-count disagreement
+ *   ├─ NoiseBudgetExhausted no modulus level left for the operation
+ *   ├─ FaultDetected        hardware fault surfaced past ECC
+ *   └─ InternalError        library invariant broken (was abort())
+ *
+ * The POSEIDON_REQUIRE / POSEIDON_CHECK macros in common/logging.h are
+ * built on this hierarchy.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace poseidon {
+
+/// Stable error category codes (wire-format safe for error frames).
+enum class ErrorCode : unsigned {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kParseError = 2,
+    kShapeMismatch = 3,
+    kNoiseBudgetExhausted = 4,
+    kFaultDetected = 5,
+    kInternal = 6,
+};
+
+/// Short stable name for an error code ("InvalidArgument", ...).
+const char* to_string(ErrorCode code);
+
+/// Base class of every Poseidon error.
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorCode code, const std::string &message,
+          const char *file = nullptr, int line = 0);
+
+    ErrorCode code() const { return code_; }
+
+    /// The undecorated context string passed at the throw site.
+    const std::string& message() const { return message_; }
+
+    /// Source file of the throw site ("" when unknown).
+    const std::string& file() const { return file_; }
+    int line() const { return line_; }
+
+  private:
+    ErrorCode code_;
+    std::string message_;
+    std::string file_;
+    int line_;
+};
+
+/// Bad parameter or API misuse by the caller.
+class InvalidArgument : public Error
+{
+  public:
+    explicit InvalidArgument(const std::string &message,
+                             const char *file = nullptr, int line = 0)
+        : Error(ErrorCode::kInvalidArgument, message, file, line) {}
+};
+
+/// Malformed, truncated or adversarial serialized bytes.
+class ParseError : public Error
+{
+  public:
+    explicit ParseError(const std::string &message,
+                        const char *file = nullptr, int line = 0)
+        : Error(ErrorCode::kParseError, message, file, line) {}
+};
+
+/// Operands disagree on level, scale or limb count.
+class ShapeMismatch : public Error
+{
+  public:
+    explicit ShapeMismatch(const std::string &message,
+                           const char *file = nullptr, int line = 0)
+        : Error(ErrorCode::kShapeMismatch, message, file, line) {}
+};
+
+/// No modulus level / scale headroom left for the requested operation.
+class NoiseBudgetExhausted : public Error
+{
+  public:
+    explicit NoiseBudgetExhausted(const std::string &message,
+                                  const char *file = nullptr, int line = 0)
+        : Error(ErrorCode::kNoiseBudgetExhausted, message, file, line) {}
+};
+
+/// A memory/datapath fault surfaced past the ECC layer (possibly
+/// transient: callers may retry a bounded number of times).
+class FaultDetected : public Error
+{
+  public:
+    explicit FaultDetected(const std::string &message,
+                           const char *file = nullptr, int line = 0)
+        : Error(ErrorCode::kFaultDetected, message, file, line) {}
+};
+
+/// A library invariant failed — indicates a Poseidon bug, not misuse.
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &message,
+                           const char *file = nullptr, int line = 0)
+        : Error(ErrorCode::kInternal, message, file, line) {}
+};
+
+} // namespace poseidon
+
+#endif // POSEIDON_COMMON_STATUS_H_

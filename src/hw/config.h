@@ -12,6 +12,8 @@
 
 #include <cstddef>
 
+#include "hw/faults.h"
+
 namespace poseidon::hw {
 
 /// Knobs of the modeled accelerator instance.
@@ -62,6 +64,15 @@ struct HwConfig
      * dataflow machine, 0.0 strictly serial.
      */
     double overlap = 0.92;
+
+    /**
+     * HBM fault model (see hw/faults.h). The default BER of 0 keeps
+     * the reliable-memory behaviour of the paper's prototype,
+     * bit-identical to a model without the injector; nonzero BER adds
+     * ECC retry cycles to memory time and fault statistics to
+     * SimResult.
+     */
+    FaultConfig faults;
 
     /// Peak HBM bytes per accelerator cycle.
     double

@@ -1,0 +1,123 @@
+#include "hw/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace poseidon::hw {
+
+FaultStats&
+FaultStats::operator+=(const FaultStats &o)
+{
+    wordsTransferred += o.wordsTransferred;
+    bitFlips += o.bitFlips;
+    corrected += o.corrected;
+    detected += o.detected;
+    silent += o.silent;
+    retryCycles += o.retryCycles;
+    return *this;
+}
+
+FaultInjector::FaultInjector(FaultConfig cfg)
+    : cfg_(cfg), prng_(cfg.seed)
+{
+    POSEIDON_REQUIRE(cfg_.ber >= 0.0 && cfg_.ber <= 1.0,
+                     "FaultInjector: BER " << cfg_.ber
+                     << " outside [0, 1]");
+    POSEIDON_REQUIRE(cfg_.wordBits >= 1 && cfg_.wordBits <= 64,
+                     "FaultInjector: word width " << cfg_.wordBits
+                     << " outside [1, 64] bits");
+    POSEIDON_REQUIRE(cfg_.retryCycles >= 0.0,
+                     "FaultInjector: negative retry cycles");
+}
+
+FaultOutcome
+FaultInjector::classify(u64 flips, bool secded)
+{
+    if (flips == 0) return FaultOutcome::None;
+    if (!secded) return FaultOutcome::Silent;
+    if (flips == 1) return FaultOutcome::Corrected;
+    if (flips == 2) return FaultOutcome::DetectedUncorrected;
+    return FaultOutcome::Silent;
+}
+
+u64
+FaultInjector::poisson(double lambda)
+{
+    if (lambda <= 0.0) return 0;
+    if (lambda < 64.0) {
+        // Knuth: multiply uniforms until the product drops under
+        // exp(-lambda).
+        double limit = std::exp(-lambda);
+        double prod = 1.0;
+        u64 k = 0;
+        do {
+            prod *= prng_.uniform_double();
+            ++k;
+        } while (prod > limit);
+        return k - 1;
+    }
+    // Normal approximation, adequate at this intensity.
+    double x = lambda + std::sqrt(lambda) * prng_.gaussian();
+    return x <= 0.0 ? 0 : static_cast<u64>(std::llround(x));
+}
+
+FaultStats
+FaultInjector::transfer(u64 words)
+{
+    FaultStats s;
+    s.wordsTransferred = words;
+    if (cfg_.ber <= 0.0 || words == 0) return s;
+
+    double bits = static_cast<double>(words) *
+                  static_cast<double>(cfg_.wordBits);
+    u64 flips = poisson(bits * cfg_.ber);
+    // Physical ceiling: no more flips than bits in flight.
+    flips = std::min(flips, words * cfg_.wordBits);
+    s.bitFlips = flips;
+    if (flips == 0) return s;
+
+    // Scatter flips over the transfer's words; collisions model
+    // multi-bit words.
+    std::map<u64, u64> perWord;
+    for (u64 f = 0; f < flips; ++f) ++perWord[prng_.uniform(words)];
+
+    for (const auto &[word, count] : perWord) {
+        (void)word;
+        switch (classify(count, cfg_.secded)) {
+          case FaultOutcome::None:
+            break;
+          case FaultOutcome::Corrected:
+            ++s.corrected;
+            break;
+          case FaultOutcome::DetectedUncorrected:
+            ++s.detected;
+            s.retryCycles += cfg_.retryCycles;
+            break;
+          case FaultOutcome::Silent:
+            ++s.silent;
+            break;
+        }
+    }
+    return s;
+}
+
+u64
+FaultInjector::corrupt(void *data, std::size_t bytes)
+{
+    if (cfg_.ber <= 0.0 || bytes == 0 || data == nullptr) return 0;
+    auto *p = static_cast<unsigned char*>(data);
+    u64 totalBits = static_cast<u64>(bytes) * 8;
+    u64 flips = std::min(poisson(static_cast<double>(totalBits) *
+                                 cfg_.ber),
+                         totalBits);
+    for (u64 f = 0; f < flips; ++f) {
+        u64 bit = prng_.uniform(totalBits);
+        p[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    }
+    return flips;
+}
+
+} // namespace poseidon::hw

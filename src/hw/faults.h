@@ -1,0 +1,112 @@
+#ifndef POSEIDON_HW_FAULTS_H_
+#define POSEIDON_HW_FAULTS_H_
+
+/**
+ * @file
+ * HBM/scratchpad fault injection with a SECDED ECC model.
+ *
+ * The paper's prototype assumes a perfectly reliable memory system; a
+ * deployed accelerator serving heavy traffic cannot (HBM stacks ship
+ * with on-die ECC for a reason). This module models random bit flips
+ * on transferred memory words at a configurable bit-error rate and
+ * classifies each faulty word through a SECDED (single-error-correct,
+ * double-error-detect) code:
+ *
+ *   1 flipped bit   -> corrected in-line (no visible effect),
+ *   2 flipped bits  -> detected but uncorrectable: the transfer is
+ *                      replayed, charging `retryCycles` to memory time,
+ *   >= 3 flipped bits -> may alias to a valid codeword: counted as a
+ *                      silent corruption (what an end-to-end guard at
+ *                      the service layer must catch).
+ *
+ * Sampling is PRNG-seeded and deterministic: the expected number of
+ * flips in a transfer is Poisson(bits * BER); flip positions are then
+ * scattered uniformly over the words of the transfer, so multi-bit
+ * words arise with the right birthday statistics. At BER = 0 the
+ * injector is a strict no-op.
+ */
+
+#include <cstddef>
+
+#include "common/modmath.h"
+#include "common/prng.h"
+
+namespace poseidon::hw {
+
+/// SECDED classification of one transferred word.
+enum class FaultOutcome {
+    None,                 ///< no bit flipped
+    Corrected,            ///< single flip, fixed by ECC
+    DetectedUncorrected,  ///< double flip, caught -> replay
+    Silent,               ///< triple+ flip, may alias undetected
+};
+
+/// Knobs of the fault model.
+struct FaultConfig
+{
+    /// Bit flip probability per transferred bit (0 disables).
+    double ber = 0.0;
+
+    /// PRNG seed; same seed + same transfer sequence => same faults.
+    u64 seed = 0x464C495053ULL; // "FLIPS"
+
+    /// SECDED ECC on memory words. When off, every flipped word is a
+    /// silent corruption (no correction, no detection).
+    bool secded = true;
+
+    /// Cycles charged per detected-uncorrected word (transfer replay
+    /// through the HBM channel plus pipeline refill).
+    double retryCycles = 128.0;
+
+    /// Protected word granularity in bits (one RNS residue).
+    unsigned wordBits = 32;
+};
+
+/// Aggregate fault statistics over one or more transfers.
+struct FaultStats
+{
+    u64 wordsTransferred = 0;
+    u64 bitFlips = 0;        ///< raw flips before ECC
+    u64 corrected = 0;       ///< words fixed by SECDED
+    u64 detected = 0;        ///< words detected-uncorrected (replayed)
+    u64 silent = 0;          ///< words corrupted past ECC
+    double retryCycles = 0.0;
+
+    u64 faulty_words() const { return corrected + detected + silent; }
+
+    FaultStats& operator+=(const FaultStats &o);
+};
+
+/// Deterministic, seeded HBM fault injector.
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultConfig cfg = FaultConfig{});
+
+    const FaultConfig& config() const { return cfg_; }
+
+    /// Model one transfer of `words` memory words; advances the PRNG.
+    FaultStats transfer(u64 words);
+
+    /// SECDED outcome for a word with `flips` flipped bits.
+    static FaultOutcome classify(u64 flips, bool secded);
+
+    /**
+     * Software-level corruption: flip bits of a real buffer at the
+     * configured BER (for end-to-end guards and tests). Returns the
+     * number of bits flipped.
+     */
+    u64 corrupt(void *data, std::size_t bytes);
+
+  private:
+    /// Poisson(lambda) sample (exact for small lambda, normal
+    /// approximation above 64).
+    u64 poisson(double lambda);
+
+    FaultConfig cfg_;
+    Prng prng_;
+};
+
+} // namespace poseidon::hw
+
+#endif // POSEIDON_HW_FAULTS_H_

@@ -104,12 +104,20 @@ SimResult
 PoseidonSim::run(const Trace &trace) const
 {
     SimResult r;
+    trace.validate();
     const auto &ins = trace.instrs();
+
+    // Fault injection is strictly off at BER = 0: no injector call is
+    // made, so the cycle arithmetic below is bit-identical to the
+    // reliable-memory model. (Construction still validates the config.)
+    const bool injectFaults = cfg_.faults.ber > 0.0;
+    FaultInjector injector(cfg_.faults);
 
     std::size_t i = 0;
     while (i < ins.size()) {
         BasicOp tag = ins[i].tag;
         double segCompute = 0.0, segMem = 0.0, segBytes = 0.0;
+        double segRetry = 0.0;
         u64 segDegree = 0;
         while (i < ins.size() && ins[i].tag == tag) {
             const Instr &in = ins[i];
@@ -126,6 +134,12 @@ PoseidonSim::run(const Trace &trace) const
                 r.bytesWritten += in.elems * cfg_.wordBytes;
                 segBytes += static_cast<double>(in.elems) * cfg_.wordBytes;
             }
+            if (injectFaults && (in.kind == OpKind::HBM_RD ||
+                                 in.kind == OpKind::HBM_WR)) {
+                FaultStats fs = injector.transfer(in.elems);
+                segRetry += fs.retryCycles;
+                r.faults += fs;
+            }
             ++i;
         }
         // Double-buffered pipeline: the longer of compute and memory
@@ -138,7 +152,9 @@ PoseidonSim::run(const Trace &trace) const
                                cfg_.wordBytes;
         double capacity = cfg_.scratchpadMB * 1024.0 * 1024.0;
         double spill = std::max(1.0, requiredBytes / capacity);
-        segMem *= spill;
+        // ECC replay traffic is re-streamed as-is; it does not grow
+        // with scratchpad pressure.
+        segMem = segMem * spill + segRetry;
 
         double ov = cfg_.overlap;
         double segCycles = std::max(segCompute, segMem) +

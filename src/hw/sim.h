@@ -41,6 +41,11 @@ struct SimResult
     /// Compute cycles per operator kind (Fig. 9 style breakdown).
     std::array<double, 8> kindCycles = {};
 
+    /// HBM fault statistics (all-zero when cfg.faults.ber == 0). The
+    /// detected-uncorrected replays are already charged into
+    /// memCycles/cycles as ECC retry cycles.
+    FaultStats faults;
+
     /// Wall time charged to each basic-operation tag (Fig. 8 style).
     std::map<isa::BasicOp, double> tagSeconds;
 

@@ -1,6 +1,7 @@
 #include "isa/trace.h"
 
 #include "common/logging.h"
+#include "common/modmath.h"
 
 namespace poseidon::isa {
 
@@ -99,6 +100,26 @@ Trace::totals_by_tag() const
     std::map<BasicOp, OpCounts> m;
     for (const auto &in : instrs_) m[in.tag][in.kind] += in.elems;
     return m;
+}
+
+void
+Trace::validate() const
+{
+    for (std::size_t i = 0; i < instrs_.size(); ++i) {
+        const Instr &in = instrs_[i];
+        POSEIDON_REQUIRE(in.elems >= 1,
+                         "Trace::validate: instr " << i << " ("
+                         << to_string(in.kind)
+                         << ") has zero elements");
+        if (in.kind == OpKind::NTT || in.kind == OpKind::INTT ||
+            in.kind == OpKind::AUTO) {
+            POSEIDON_REQUIRE(in.degree >= 2 && is_pow2(in.degree),
+                             "Trace::validate: instr " << i << " ("
+                             << to_string(in.kind) << ") degree "
+                             << in.degree
+                             << " is not a power of two >= 2");
+        }
+    }
 }
 
 bool

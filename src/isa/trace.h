@@ -63,6 +63,14 @@ class Trace
     /// under tag `b` — reproduces the checkmarks of Table I.
     bool uses(BasicOp b, OpKind k) const;
 
+    /**
+     * Structural validation before replay: every NTT/INTT/AUTO
+     * instruction must carry a power-of-two degree >= 2 (the per-poly
+     * cost models divide by it). Throws poseidon::InvalidArgument on
+     * the first malformed instruction.
+     */
+    void validate() const;
+
   private:
     std::vector<Instr> instrs_;
 };

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "common/prng.h"
 #include "poly/automorphism.h"
 #include "poly/hfauto.h"
@@ -119,7 +120,7 @@ TEST(Automorphism, RejectsEvenGalois)
 {
     std::vector<u64> in(8, 1), out(8);
     EXPECT_THROW(automorphism_coeff_limb(in.data(), out.data(), 8, 2, 97),
-                 std::invalid_argument);
+                 poseidon::Error);
 }
 
 // ---- HFAuto ----
@@ -199,12 +200,12 @@ TEST(HFAuto, StatsAccumulate)
 
 TEST(HFAuto, RejectsBadShape)
 {
-    EXPECT_THROW(HFAuto(1000, 10), std::invalid_argument);
-    EXPECT_THROW(HFAuto(256, 512), std::invalid_argument);
+    EXPECT_THROW(HFAuto(1000, 10), poseidon::Error);
+    EXPECT_THROW(HFAuto(256, 512), poseidon::Error);
     HFAuto hf(256, 64);
     std::vector<u64> a(256, 0), out(256);
     EXPECT_THROW(hf.apply_limb(a.data(), out.data(), 4, 97),
-                 std::invalid_argument);
+                 poseidon::Error);
 }
 
 } // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "rns/bigint.h"
 
 namespace poseidon {

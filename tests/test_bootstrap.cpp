@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/status.h"
 #include "ckks/bootstrap.h"
 #include "ckks/encryptor.h"
 
@@ -153,7 +154,7 @@ TEST(Bootstrap, RejectsShortChain)
     CkksEncryptor encr(ctx, kg.make_public_key());
     auto z = small_message(ctx->slots(), 3);
     Ciphertext ct = encr.encrypt(enc.encode(z, 1));
-    EXPECT_THROW(boot.bootstrap(ct, ev), std::invalid_argument);
+    EXPECT_THROW(boot.bootstrap(ct, ev), poseidon::Error);
 }
 
 

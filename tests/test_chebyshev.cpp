@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "common/status.h"
 #include "ckks/chebyshev.h"
 #include "ckks/encryptor.h"
 #include "ckks/security.h"

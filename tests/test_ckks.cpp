@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "common/status.h"
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
@@ -228,7 +229,7 @@ TEST(Ckks, MultiplicativeChainConsumesLevels)
         EXPECT_NEAR(back[0].real(), expect, 5e-3)
             << "limbs=" << c.num_limbs();
     }
-    EXPECT_THROW(f.eval.rescale_inplace(c), std::invalid_argument);
+    EXPECT_THROW(f.eval.rescale_inplace(c), poseidon::Error);
 }
 
 TEST(Ckks, SquareMatchesMul)
@@ -323,7 +324,7 @@ TEST(Ckks, ScaleMismatchRejected)
     Ciphertext c1 = f.encryptor.encrypt(f.encoder.encode(z, 3));
     Ciphertext c2 = f.encryptor.encrypt(
         f.encoder.encode(z, 3, f.ctx->params().scale() * 2));
-    EXPECT_THROW(f.eval.add(c1, c2), std::invalid_argument);
+    EXPECT_THROW(f.eval.add(c1, c2), poseidon::Error);
 }
 
 TEST(Ckks, LevelMismatchRejected)
@@ -332,7 +333,7 @@ TEST(Ckks, LevelMismatchRejected)
     auto z = test_vector(f.ctx->slots(), 22);
     Ciphertext c1 = f.encryptor.encrypt(f.encoder.encode(z, 3));
     Ciphertext c2 = f.encryptor.encrypt(f.encoder.encode(z, 2));
-    EXPECT_THROW(f.eval.add(c1, c2), std::invalid_argument);
+    EXPECT_THROW(f.eval.add(c1, c2), poseidon::Error);
 }
 
 TEST(Ckks, KeyswitchCoreIdentity)
@@ -410,7 +411,7 @@ TEST(Ckks, AdjustScaleRejectsBottomLevel)
     auto z = test_vector(f.ctx->slots(), 32);
     Ciphertext c = f.encryptor.encrypt(f.encoder.encode(z, 1));
     EXPECT_THROW(f.eval.adjust_scale(c, c.scale),
-                 std::invalid_argument);
+                 poseidon::Error);
 }
 
 
@@ -481,7 +482,7 @@ TEST(Ckks, HybridKeyswitchingRejectsTooFewSpecialPrimes)
     p.L = 6;
     p.dnum = 2; // alpha = 3 > K = 1
     p.K = 1;
-    EXPECT_THROW(make_ckks_context(p), std::invalid_argument);
+    EXPECT_THROW(make_ckks_context(p), poseidon::Error);
 }
 
 

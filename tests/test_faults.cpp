@@ -1,0 +1,203 @@
+// Tests for the HBM fault injector and its simulator integration.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+#include "hw/faults.h"
+#include "hw/sim.h"
+#include "isa/compiler.h"
+
+namespace poseidon::hw {
+namespace {
+
+isa::Trace
+sample_trace()
+{
+    isa::OpShape shape;
+    shape.n = 1u << 13;
+    shape.limbs = 4;
+    shape.K = 1;
+    isa::Trace tr;
+    isa::emit_cmult(tr, shape);
+    isa::emit_rescale(tr, shape);
+    isa::emit_rotation(tr, shape);
+    return tr;
+}
+
+TEST(Faults, ZeroBerIsStrictNoOp)
+{
+    FaultInjector inj; // default config: ber = 0
+    FaultStats s = inj.transfer(1u << 20);
+    EXPECT_EQ(s.wordsTransferred, 1u << 20);
+    EXPECT_EQ(s.bitFlips, 0u);
+    EXPECT_EQ(s.faulty_words(), 0u);
+    EXPECT_EQ(s.retryCycles, 0.0);
+}
+
+TEST(Faults, ZeroBerSimIsBitIdenticalToSeedModel)
+{
+    isa::Trace tr = sample_trace();
+    SimResult base = PoseidonSim().run(tr);
+
+    // Any fault-model knob must be inert while BER stays 0.
+    HwConfig cfg = HwConfig::poseidon_u280();
+    cfg.faults.seed = 0xDEADBEEF;
+    cfg.faults.secded = false;
+    cfg.faults.retryCycles = 1e6;
+    SimResult r = PoseidonSim(cfg).run(tr);
+
+    EXPECT_EQ(r.cycles, base.cycles);
+    EXPECT_EQ(r.computeCycles, base.computeCycles);
+    EXPECT_EQ(r.memCycles, base.memCycles);
+    EXPECT_EQ(r.faults.bitFlips, 0u);
+    EXPECT_EQ(r.faults.retryCycles, 0.0);
+}
+
+TEST(Faults, SeededRunsReproduce)
+{
+    FaultConfig cfg;
+    cfg.ber = 1e-5;
+    cfg.seed = 42;
+
+    auto campaign = [&cfg]() {
+        FaultInjector inj(cfg);
+        FaultStats total;
+        for (int i = 0; i < 16; ++i) total += inj.transfer(100000);
+        return total;
+    };
+    FaultStats a = campaign();
+    FaultStats b = campaign();
+    EXPECT_EQ(a.bitFlips, b.bitFlips);
+    EXPECT_EQ(a.corrected, b.corrected);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.silent, b.silent);
+    EXPECT_EQ(a.retryCycles, b.retryCycles);
+    EXPECT_GT(a.bitFlips, 0u);
+
+    cfg.seed = 43;
+    FaultStats c = campaign();
+    EXPECT_NE(a.bitFlips, c.bitFlips); // different draw sequence
+}
+
+TEST(Faults, SecdedClassification)
+{
+    EXPECT_EQ(FaultInjector::classify(0, true), FaultOutcome::None);
+    EXPECT_EQ(FaultInjector::classify(1, true), FaultOutcome::Corrected);
+    EXPECT_EQ(FaultInjector::classify(2, true),
+              FaultOutcome::DetectedUncorrected);
+    EXPECT_EQ(FaultInjector::classify(3, true), FaultOutcome::Silent);
+    EXPECT_EQ(FaultInjector::classify(7, true), FaultOutcome::Silent);
+
+    // Without ECC every faulty word is a silent corruption.
+    EXPECT_EQ(FaultInjector::classify(0, false), FaultOutcome::None);
+    EXPECT_EQ(FaultInjector::classify(1, false), FaultOutcome::Silent);
+    EXPECT_EQ(FaultInjector::classify(2, false), FaultOutcome::Silent);
+}
+
+TEST(Faults, TransferStatsAreConsistent)
+{
+    FaultConfig cfg;
+    cfg.ber = 1e-4;
+    cfg.seed = 7;
+    FaultInjector inj(cfg);
+    FaultStats s = inj.transfer(1u << 20);
+
+    EXPECT_GT(s.bitFlips, 0u);
+    EXPECT_GT(s.corrected, 0u); // singles dominate at this BER
+    EXPECT_LE(s.faulty_words(), s.bitFlips);
+    EXPECT_DOUBLE_EQ(s.retryCycles,
+                     static_cast<double>(s.detected) * cfg.retryCycles);
+}
+
+TEST(Faults, NoEccMakesEveryFaultSilent)
+{
+    FaultConfig cfg;
+    cfg.ber = 1e-4;
+    cfg.secded = false;
+    FaultInjector inj(cfg);
+    FaultStats s = inj.transfer(1u << 20);
+    EXPECT_GT(s.silent, 0u);
+    EXPECT_EQ(s.corrected, 0u);
+    EXPECT_EQ(s.detected, 0u);
+    EXPECT_EQ(s.retryCycles, 0.0);
+}
+
+TEST(Faults, SimReportsFaultsAndChargesRetries)
+{
+    isa::Trace tr = sample_trace();
+    SimResult clean = PoseidonSim().run(tr);
+
+    HwConfig cfg = HwConfig::poseidon_u280();
+    cfg.faults.ber = 5e-4; // heavy: guarantees detected-uncorrected
+    cfg.faults.seed = 3;
+    SimResult r = PoseidonSim(cfg).run(tr);
+
+    EXPECT_EQ(r.faults.wordsTransferred,
+              (clean.bytesRead + clean.bytesWritten) / cfg.wordBytes);
+    EXPECT_GT(r.faults.bitFlips, 0u);
+    EXPECT_GT(r.faults.corrected, 0u);
+    EXPECT_GT(r.faults.detected, 0u);
+    EXPECT_GT(r.faults.retryCycles, 0.0);
+    // Replays lengthen memory time, never shorten the run.
+    EXPECT_NEAR(r.memCycles, clean.memCycles + r.faults.retryCycles,
+                1e-6);
+    EXPECT_GE(r.cycles, clean.cycles);
+    // Traffic accounting is unchanged by injected faults.
+    EXPECT_EQ(r.bytesRead, clean.bytesRead);
+    EXPECT_EQ(r.bytesWritten, clean.bytesWritten);
+}
+
+TEST(Faults, CorruptFlipsRealBits)
+{
+    std::vector<unsigned char> buf(4096, 0xA5);
+    std::vector<unsigned char> orig = buf;
+
+    FaultConfig cfg;
+    cfg.ber = 1e-3;
+    cfg.seed = 11;
+    FaultInjector inj(cfg);
+    u64 flips = inj.corrupt(buf.data(), buf.size());
+    EXPECT_GT(flips, 0u);
+    EXPECT_NE(buf, orig);
+
+    // Same seed, same buffer -> same corruption.
+    std::vector<unsigned char> again = orig;
+    FaultInjector inj2(cfg);
+    EXPECT_EQ(inj2.corrupt(again.data(), again.size()), flips);
+    EXPECT_EQ(again, buf);
+
+    // BER = 0 never touches the buffer.
+    FaultInjector off;
+    std::vector<unsigned char> untouched = orig;
+    EXPECT_EQ(off.corrupt(untouched.data(), untouched.size()), 0u);
+    EXPECT_EQ(untouched, orig);
+}
+
+TEST(Faults, RejectsInvalidConfig)
+{
+    FaultConfig bad;
+    bad.ber = 1.5;
+    EXPECT_THROW(FaultInjector{bad}, poseidon::InvalidArgument);
+
+    bad = FaultConfig{};
+    bad.wordBits = 0;
+    EXPECT_THROW(FaultInjector{bad}, poseidon::InvalidArgument);
+
+    bad = FaultConfig{};
+    bad.retryCycles = -1.0;
+    EXPECT_THROW(FaultInjector{bad}, poseidon::InvalidArgument);
+}
+
+TEST(Faults, SimValidatesTraceStructure)
+{
+    isa::Trace bad;
+    bad.emit(isa::OpKind::NTT, 4096, /*degree=*/100, // not a power of 2
+             isa::BasicOp::NttOnly);
+    EXPECT_THROW(PoseidonSim().run(bad), poseidon::InvalidArgument);
+}
+
+} // namespace
+} // namespace poseidon::hw

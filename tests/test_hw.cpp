@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "hw/energy.h"
 #include "hw/resource.h"
 #include "hw/pipeline.h"
@@ -313,10 +314,10 @@ TEST(Sim, RejectsBadConfig)
 {
     HwConfig cfg;
     cfg.nttRadixLog2 = 9;
-    EXPECT_THROW(PoseidonSim{cfg}, std::invalid_argument);
+    EXPECT_THROW(PoseidonSim{cfg}, poseidon::Error);
     HwConfig cfg2;
     cfg2.overlap = 1.5;
-    EXPECT_THROW(PoseidonSim{cfg2}, std::invalid_argument);
+    EXPECT_THROW(PoseidonSim{cfg2}, poseidon::Error);
 }
 
 } // namespace

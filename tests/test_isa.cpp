@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "isa/compiler.h"
 
 namespace poseidon::isa {
@@ -43,7 +44,7 @@ TEST(Trace, RepeatAndAppend)
     u.emit(OpKind::MM, 7, 0, BasicOp::PMult);
     t.append(u);
     EXPECT_EQ(t.totals()[OpKind::MM], 7u);
-    EXPECT_THROW(t.repeat(0), std::invalid_argument);
+    EXPECT_THROW(t.repeat(0), poseidon::Error);
 }
 
 TEST(Trace, TotalsByTag)
@@ -165,7 +166,7 @@ TEST(Compiler, RescaleRequiresTwoLimbs)
     OpShape s = small_shape();
     s.limbs = 1;
     Trace t;
-    EXPECT_THROW(emit_rescale(t, s), std::invalid_argument);
+    EXPECT_THROW(emit_rescale(t, s), poseidon::Error);
 }
 
 TEST(Compiler, RotationIncludesAutomorphismAndKeyswitch)

@@ -4,6 +4,7 @@
 
 #include "common/modmath.h"
 #include "common/prng.h"
+#include "common/status.h"
 
 namespace poseidon {
 namespace {
@@ -38,7 +39,7 @@ TEST(ModMath, InvMod)
                 << "a=" << a << " q=" << q;
         }
     }
-    EXPECT_THROW(inv_mod(2, 4), std::invalid_argument);
+    EXPECT_THROW(inv_mod(2, 4), poseidon::Error);
 }
 
 TEST(ModMath, IsPrimeSmall)
@@ -160,7 +161,7 @@ TEST(ModMath, NthRoot)
     u64 w = find_nth_root(512, q);
     EXPECT_EQ(pow_mod(w, 512, q), 1u);
     EXPECT_NE(pow_mod(w, 256, q), 1u);
-    EXPECT_THROW(find_nth_root(1024, q), std::invalid_argument);
+    EXPECT_THROW(find_nth_root(1024, q), poseidon::Error);
 }
 
 } // namespace

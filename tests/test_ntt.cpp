@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "common/prng.h"
 #include "ntt/fusion.h"
 #include "ntt/ntt.h"
@@ -106,8 +107,8 @@ TEST(Ntt, Linearity)
 
 TEST(Ntt, RejectsBadParameters)
 {
-    EXPECT_THROW(NttTable(100, 97), std::invalid_argument); // not pow2
-    EXPECT_THROW(NttTable(128, 97), std::invalid_argument); // q!=1 mod 2N
+    EXPECT_THROW(NttTable(100, 97), poseidon::Error); // not pow2
+    EXPECT_THROW(NttTable(128, 97), poseidon::Error); // q!=1 mod 2N
 }
 
 // ---- NTT-fusion ----

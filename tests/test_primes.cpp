@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "common/status.h"
 #include "rns/primes.h"
 
 namespace poseidon {
@@ -49,9 +50,9 @@ TEST(Primes, DescendingOrder)
 
 TEST(Primes, RejectsBadArguments)
 {
-    EXPECT_THROW(generate_ntt_primes(1000, 32, 1), std::invalid_argument);
-    EXPECT_THROW(generate_ntt_primes(1024, 10, 1), std::invalid_argument);
-    EXPECT_THROW(generate_ntt_primes(1024, 62, 1), std::invalid_argument);
+    EXPECT_THROW(generate_ntt_primes(1000, 32, 1), poseidon::Error);
+    EXPECT_THROW(generate_ntt_primes(1024, 10, 1), poseidon::Error);
+    EXPECT_THROW(generate_ntt_primes(1024, 62, 1), poseidon::Error);
 }
 
 TEST(Primes, SmallBitSizes)

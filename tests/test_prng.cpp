@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 
+#include "common/status.h"
 #include "common/prng.h"
 
 namespace poseidon {
@@ -30,7 +31,7 @@ TEST(Prng, UniformBounds)
             EXPECT_LT(prng.uniform(bound), bound);
         }
     }
-    EXPECT_THROW(prng.uniform(0), std::invalid_argument);
+    EXPECT_THROW(prng.uniform(0), poseidon::Error);
 }
 
 TEST(Prng, UniformCoversRange)
@@ -95,7 +96,7 @@ TEST(Sampler, SparseTernaryWeight)
         if (x != 0) ++nonzero;
     }
     EXPECT_EQ(nonzero, 64);
-    EXPECT_THROW(s.sparse_ternary(10, 11), std::invalid_argument);
+    EXPECT_THROW(s.sparse_ternary(10, 11), poseidon::Error);
 }
 
 TEST(Sampler, GaussianSigma)

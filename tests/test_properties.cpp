@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/status.h"
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"

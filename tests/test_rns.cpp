@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "common/status.h"
 #include "common/prng.h"
 #include "rns/conv.h"
 #include "rns/primes.h"
@@ -21,8 +22,8 @@ make_basis(std::size_t n, unsigned bits, std::size_t count,
 
 TEST(RnsBasis, RejectsDuplicates)
 {
-    EXPECT_THROW(RnsBasis(std::vector<u64>{97, 97}), std::invalid_argument);
-    EXPECT_THROW(RnsBasis(std::vector<u64>{}), std::invalid_argument);
+    EXPECT_THROW(RnsBasis(std::vector<u64>{97, 97}), poseidon::Error);
+    EXPECT_THROW(RnsBasis(std::vector<u64>{}), poseidon::Error);
 }
 
 TEST(RnsBasis, DecomposeComposeRoundTripSigned)

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/prng.h"
+#include "common/status.h"
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
@@ -114,7 +119,7 @@ TEST(Serialize, RejectsCorruptedStream)
     {
         std::stringstream bad(data.substr(0, data.size() / 2));
         EXPECT_THROW(io::read_ciphertext(bad, ctx->ring()),
-                     std::invalid_argument);
+                     poseidon::Error);
     }
     // Wrong magic.
     {
@@ -122,7 +127,7 @@ TEST(Serialize, RejectsCorruptedStream)
         mangled[0] ^= 0x5a;
         std::stringstream bad(mangled);
         EXPECT_THROW(io::read_ciphertext(bad, ctx->ring()),
-                     std::invalid_argument);
+                     poseidon::Error);
     }
     // Wrong context (different prime chain).
     {
@@ -131,8 +136,160 @@ TEST(Serialize, RejectsCorruptedStream)
         auto ctx2 = make_ckks_context(other);
         std::stringstream bad(data);
         EXPECT_THROW(io::read_ciphertext(bad, ctx2->ring()),
-                     std::invalid_argument);
+                     poseidon::Error);
     }
+}
+
+// ---- Corruption fuzzing ----
+//
+// The service-boundary guarantee under test: feeding ANY malformed
+// byte stream to a reader either succeeds (the corruption happened to
+// preserve validity) or raises poseidon::ParseError. No other
+// exception type, no crash, no unbounded allocation.
+
+/// Exhaustive truncation plus seeded random byte flips against one
+/// reader. `data` must hold exactly one serialized object.
+void
+fuzz_reader(const std::string &name, const std::string &data,
+            const std::function<void(std::istream&)> &read,
+            int flipCases = 1000)
+{
+    // Truncation at every prefix length must be a clean ParseError.
+    for (std::size_t len = 0; len < data.size(); ++len) {
+        std::istringstream bad(data.substr(0, len));
+        try {
+            read(bad);
+            FAIL() << name << ": prefix of " << len
+                   << " bytes parsed as a whole object";
+        } catch (const ParseError &) {
+            // expected
+        } catch (const std::exception &e) {
+            FAIL() << name << ": truncation at " << len
+                   << " raised non-ParseError: " << e.what();
+        }
+    }
+
+    // Seeded random corruption: flip 1..8 bytes per case.
+    Prng prng(0xF0520000u + data.size());
+    for (int c = 0; c < flipCases; ++c) {
+        std::string mangled = data;
+        u64 flips = 1 + prng.uniform(8);
+        for (u64 f = 0; f < flips; ++f) {
+            std::size_t pos = prng.uniform(mangled.size());
+            mangled[pos] = static_cast<char>(
+                static_cast<unsigned char>(mangled[pos]) ^
+                static_cast<unsigned char>(1u << prng.uniform(8)));
+        }
+        std::istringstream bad(mangled);
+        try {
+            read(bad); // flips may land harmlessly: success is fine
+        } catch (const ParseError &) {
+            // expected for detected corruption
+        } catch (const std::exception &e) {
+            FAIL() << name << ": flip case " << c
+                   << " raised non-ParseError: " << e.what();
+        }
+    }
+}
+
+TEST(SerializeFuzz, EveryObjectTypeFailsOnlyWithParseError)
+{
+    // Small ring so per-case work stays tiny; the loop below runs
+    // thousands of parse attempts per object type.
+    CkksParams p;
+    p.logN = 6;
+    p.L = 2;
+    p.scaleBits = 30;
+    p.firstPrimeBits = 40;
+    p.specialPrimeBits = 40;
+    auto ctx = make_ckks_context(p);
+    auto ring = ctx->ring();
+
+    CkksEncoder encoder(ctx);
+    KeyGenerator keygen(ctx);
+    CkksEncryptor encryptor(ctx, keygen.make_public_key());
+    std::vector<cdouble> z(ctx->slots(), cdouble(0.25, 0.5));
+    Plaintext pt = encoder.encode(z, 2);
+    Ciphertext ct = encryptor.encrypt(pt);
+
+    struct Case
+    {
+        const char *name;
+        std::string bytes;
+        std::function<void(std::istream&)> read;
+    };
+    std::vector<Case> cases;
+    auto serialize = [](const auto &writer) {
+        std::ostringstream os;
+        writer(os);
+        return os.str();
+    };
+
+    cases.push_back({"params",
+        serialize([&](std::ostream &os) { io::write_params(os, p); }),
+        [](std::istream &is) { io::read_params(is); }});
+    cases.push_back({"poly",
+        serialize([&](std::ostream &os) { io::write_poly(os, ct.c0); }),
+        [&](std::istream &is) { io::read_poly(is, ring); }});
+    cases.push_back({"plaintext",
+        serialize([&](std::ostream &os) { io::write_plaintext(os, pt); }),
+        [&](std::istream &is) { io::read_plaintext(is, ring); }});
+    cases.push_back({"ciphertext",
+        serialize([&](std::ostream &os) { io::write_ciphertext(os, ct); }),
+        [&](std::istream &is) { io::read_ciphertext(is, ring); }});
+    cases.push_back({"secret_key",
+        serialize([&](std::ostream &os) {
+            io::write_secret_key(os, keygen.secret_key());
+        }),
+        [&](std::istream &is) { io::read_secret_key(is, ring); }});
+    cases.push_back({"public_key",
+        serialize([&](std::ostream &os) {
+            io::write_public_key(os, keygen.make_public_key());
+        }),
+        [&](std::istream &is) { io::read_public_key(is, ring); }});
+    cases.push_back({"kswitch_key",
+        serialize([&](std::ostream &os) {
+            io::write_kswitch_key(os, keygen.make_relin_key());
+        }),
+        [&](std::istream &is) { io::read_kswitch_key(is, ring); }});
+    cases.push_back({"galois_keys",
+        serialize([&](std::ostream &os) {
+            io::write_galois_keys(os, keygen.make_galois_keys({1, 2}));
+        }),
+        [&](std::istream &is) { io::read_galois_keys(is, ring); }});
+
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.name);
+        ASSERT_FALSE(c.bytes.empty());
+        fuzz_reader(c.name, c.bytes, c.read);
+    }
+}
+
+TEST(SerializeFuzz, ErrorFrameRoundTripAndFuzz)
+{
+    std::ostringstream os;
+    io::write_error_frame(os, ErrorCode::kShapeMismatch,
+                          "limbs differ: 3 vs 2");
+    std::string data = os.str();
+
+    std::istringstream is(data);
+    EXPECT_TRUE(io::is_error_frame(is));
+    // Peeking must not consume the frame.
+    io::ErrorFrame frame = io::read_error_frame(is);
+    EXPECT_EQ(frame.code, ErrorCode::kShapeMismatch);
+    EXPECT_EQ(frame.message, "limbs differ: 3 vs 2");
+
+    // A result payload is not an error frame.
+    CkksParams p;
+    p.logN = 6;
+    p.L = 2;
+    std::ostringstream other;
+    io::write_params(other, p);
+    std::istringstream notErr(other.str());
+    EXPECT_FALSE(io::is_error_frame(notErr));
+
+    fuzz_reader("error_frame", data,
+                [](std::istream &s) { io::read_error_frame(s); });
 }
 
 TEST(Noise, FreshCiphertextNoiseIsSmall)

@@ -1,0 +1,116 @@
+// Tests for the typed error subsystem and the reporting macros.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace poseidon {
+namespace {
+
+TEST(Status, ErrorCodeNames)
+{
+    EXPECT_STREQ(to_string(ErrorCode::kOk), "Ok");
+    EXPECT_STREQ(to_string(ErrorCode::kInvalidArgument),
+                 "InvalidArgument");
+    EXPECT_STREQ(to_string(ErrorCode::kParseError), "ParseError");
+    EXPECT_STREQ(to_string(ErrorCode::kShapeMismatch), "ShapeMismatch");
+    EXPECT_STREQ(to_string(ErrorCode::kNoiseBudgetExhausted),
+                 "NoiseBudgetExhausted");
+    EXPECT_STREQ(to_string(ErrorCode::kFaultDetected), "FaultDetected");
+    EXPECT_STREQ(to_string(ErrorCode::kInternal), "Internal");
+}
+
+TEST(Status, ErrorCarriesCodeMessageAndLocation)
+{
+    ParseError e("bad stream", "serialize.cpp", 42);
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    EXPECT_EQ(e.message(), "bad stream");
+    EXPECT_EQ(e.file(), "serialize.cpp");
+    EXPECT_EQ(e.line(), 42);
+
+    std::string what = e.what();
+    EXPECT_NE(what.find("ParseError"), std::string::npos);
+    EXPECT_NE(what.find("bad stream"), std::string::npos);
+    EXPECT_NE(what.find("serialize.cpp:42"), std::string::npos);
+}
+
+TEST(Status, HierarchyCatchableAsBaseTypes)
+{
+    // Every subclass is a poseidon::Error and a std::runtime_error, so
+    // existing generic handlers keep working.
+    try {
+        throw ShapeMismatch("limbs differ");
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kShapeMismatch);
+    }
+    try {
+        throw NoiseBudgetExhausted("no limbs left");
+    } catch (const std::runtime_error &) {
+        SUCCEED();
+    }
+    EXPECT_THROW(throw FaultDetected("ecc"), std::exception);
+}
+
+TEST(Status, RequireMacroThrowsInvalidArgumentWithContext)
+{
+    int got = 3;
+    try {
+        POSEIDON_REQUIRE(got == 4, "expected four, got " << got);
+        FAIL() << "should have thrown";
+    } catch (const InvalidArgument &e) {
+        std::string what = e.what();
+        // Streamed message with the runtime value...
+        EXPECT_NE(what.find("expected four, got 3"), std::string::npos);
+        // ...the stringified condition...
+        EXPECT_NE(what.find("got == 4"), std::string::npos);
+        // ...and the throw site.
+        EXPECT_NE(what.find("test_status.cpp"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+    }
+}
+
+TEST(Status, RequireMacroPassesSilently)
+{
+    EXPECT_NO_THROW(POSEIDON_REQUIRE(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Status, CheckMacroThrowsInternalError)
+{
+    try {
+        POSEIDON_CHECK(false, "invariant violated");
+        FAIL() << "should have thrown";
+    } catch (const InternalError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kInternal);
+        EXPECT_NE(std::string(e.what()).find("invariant violated"),
+                  std::string::npos);
+    }
+}
+
+TEST(Status, TypedRequireSelectsErrorType)
+{
+    EXPECT_THROW(POSEIDON_REQUIRE_T(ParseError, false, "truncated"),
+                 ParseError);
+    EXPECT_THROW(POSEIDON_REQUIRE_T(NoiseBudgetExhausted, false,
+                                    "level floor"),
+                 NoiseBudgetExhausted);
+}
+
+TEST(Status, ThrowMacroStreamsMessage)
+{
+    try {
+        int silent = 7;
+        POSEIDON_THROW(FaultDetected,
+                       silent << " word(s) corrupted past ECC");
+        FAIL() << "should have thrown";
+    } catch (const FaultDetected &e) {
+        EXPECT_EQ(e.message(), "7 word(s) corrupted past ECC");
+        EXPECT_EQ(e.code(), ErrorCode::kFaultDetected);
+    }
+}
+
+} // namespace
+} // namespace poseidon

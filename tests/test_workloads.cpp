@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "baselines/cpu.h"
 #include "baselines/published.h"
 #include "hw/sim.h"
@@ -84,7 +85,7 @@ TEST(Published, ComparatorSpecs)
     EXPECT_EQ(poseidon.platform, "FPGA (Alveo U280)");
     EXPECT_NEAR(poseidon.offchipGBps, 460.0, 1e-9);
     EXPECT_NEAR(poseidon.scratchpadMB, 8.6, 1e-9);
-    EXPECT_THROW(baselines::spec("NoSuchSystem"), std::invalid_argument);
+    EXPECT_THROW(baselines::spec("NoSuchSystem"), poseidon::Error);
 }
 
 TEST(Published, BenchTimesAnchors)
