@@ -7,6 +7,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "hw/sim.h"
 #include "isa/compiler.h"
@@ -15,8 +17,9 @@ using namespace poseidon;
 using namespace poseidon::isa;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("ablation_dnum", argc, argv);
     hw::PoseidonSim sim;
 
     AsciiTable t("Ablation: keyswitch digit count (N=2^16, 44 limbs)");
@@ -43,6 +46,10 @@ main()
         double keyMB = static_cast<double>(s.digits()) * 2 *
                        s.ext_limbs() * s.n * 4 / 1e6;
         u64 alpha = (s.limbs + s.digits() - 1) / s.digits();
+        std::string pre = "dnum" + std::to_string(c.dnum);
+        h.record_sim(pre, r, sim.config());
+        h.metric(pre + ".key_stream_mb", keyMB);
+        h.metric(pre + ".ops_per_sec", 1.0 / r.seconds);
         t.row({std::to_string(c.dnum), std::to_string(alpha),
                std::to_string(c.K), AsciiTable::num(keyMB, 1),
                AsciiTable::num(r.computeCycles / 1e6, 2),
@@ -60,5 +67,5 @@ main()
         "keys but the alpha special primes inflate ModUp/ModDown "
         "arithmetic.\nThe sweet spot for this configuration sits in the "
         "middle — which is why the benchmark traces use dnum=4.\n");
-    return 0;
+    return h.finish();
 }

@@ -6,6 +6,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "hw/sim.h"
 #include "workloads/workloads.h"
@@ -13,8 +15,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("ablation_scratchpad", argc, argv);
     auto boot = workloads::make_packed_bootstrapping(
         workloads::paper_shape());
     isa::Trace cmult;
@@ -34,6 +37,12 @@ main()
         hw::PoseidonSim sim(cfg);
         auto rc = sim.run(cmult);
         auto rb = sim.run(boot.trace);
+        char pre[32];
+        std::snprintf(pre, sizeof(pre), "mb%.1f", mb);
+        h.metric(std::string(pre) + ".cmult_ms", rc.seconds * 1e3);
+        h.metric(std::string(pre) + ".boot_ms", rb.seconds * 1e3);
+        h.metric(std::string(pre) + ".boot_bandwidth_util",
+                 rb.bandwidth_utilization(cfg));
         t.row({AsciiTable::num(mb, 1),
                AsciiTable::num(rc.seconds * 1e3, 3),
                AsciiTable::num(rb.seconds * 1e3, 1),
@@ -46,5 +55,5 @@ main()
                 "set respills and time climbs; above it, extra\ncapacity "
                 "is idle — consistent with the paper choosing 8.6 MB "
                 "instead of the ASICs' 256-512 MB.\n");
-    return 0;
+    return h.finish();
 }

@@ -5,6 +5,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "hw/resource.h"
 #include "hw/sim.h"
@@ -13,8 +15,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig10_k_sweep", argc, argv);
     AsciiTable t("Fig. 10: NTT-fusion parameter k sweep (N = 2^16)");
     t.header({"k", "#Regs (FF)", "#DSPs", "#LUTs", "BRAM",
               "NTT time (us)", "passes"});
@@ -33,6 +36,9 @@ main()
             bestTime = us;
             bestK = k;
         }
+        h.metric("k" + std::to_string(k) + ".ntt_time_us", us);
+        h.metric("k" + std::to_string(k) + ".dsp",
+                 static_cast<double>(res.dsp));
         t.row({std::to_string(k), std::to_string(res.ff),
                std::to_string(res.dsp), std::to_string(res.lut),
                std::to_string(res.bram), AsciiTable::num(us, 3),
@@ -45,5 +51,6 @@ main()
                 "fused passes reduce inter-pass buffering, wider radix "
                 "inflates the multiplier count.\n",
                 bestK);
-    return bestK == 3 ? 0 : 1;
+    h.metric("best_k", static_cast<double>(bestK));
+    return h.finish(bestK == 3 ? 0 : 1);
 }

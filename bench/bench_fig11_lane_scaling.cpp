@@ -5,6 +5,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "hw/energy.h"
 #include "workloads/workloads.h"
@@ -12,8 +14,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig11_lane_scaling", argc, argv);
     auto resnet = workloads::make_resnet20(workloads::paper_shape());
 
     AsciiTable t("Fig. 11: lane scaling sensitivity (ResNet-20)");
@@ -29,6 +32,11 @@ main()
         auto r = sim.run(resnet.trace);
         auto e = em.eval(resnet.trace, r);
         if (lanes == 64) t64 = r.seconds;
+        std::string pre = "lanes" + std::to_string(lanes);
+        h.metric(pre + ".time_ms", r.seconds * 1e3);
+        h.metric(pre + ".speedup_vs_64", t64 / r.seconds);
+        h.metric(pre + ".bandwidth_util",
+                 r.bandwidth_utilization(cfg));
         t.row({std::to_string(lanes),
                AsciiTable::num(r.seconds * 1e3, 1),
                AsciiTable::speedup(t64 / r.seconds, 2),
@@ -42,5 +50,5 @@ main()
                 "2x as the workload shifts toward the HBM\nroofline; "
                 "512 lanes maximizes performance on the U280's 460 GB/s "
                 "budget (the paper's choice).\n");
-    return 0;
+    return h.finish();
 }

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "hw/energy.h"
 #include "workloads/workloads.h"
@@ -11,8 +13,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig12_energy", argc, argv);
     hw::HwConfig cfg;
     hw::PoseidonSim sim(cfg);
     hw::EnergyModel em(cfg);
@@ -26,6 +29,10 @@ main()
         auto r = sim.run(w.trace);
         auto e = em.eval(w.trace, r);
         double dyn = e.total() - e.staticE;
+        h.record_sim(w.name, r, sim.config());
+        h.metric(w.name + ".dynamic_joules", dyn);
+        h.metric(w.name + ".memory_energy_pct",
+                 100.0 * e.memory / dyn);
         auto pct = [&](double v) {
             return AsciiTable::num(100.0 * v / dyn, 1);
         };
@@ -38,5 +45,5 @@ main()
     std::printf("\nShape check (paper Fig. 12): memory access takes the "
                 "largest share; MM and NTT dominate the\ncompute energy; "
                 "MA is minimal due to its simple logic.\n");
-    return 0;
+    return h.finish();
 }

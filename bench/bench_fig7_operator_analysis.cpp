@@ -6,6 +6,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "isa/compiler.h"
 
@@ -13,12 +15,15 @@ using namespace poseidon;
 using namespace poseidon::isa;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig7_operator_analysis", argc, argv);
     OpShape s;
     s.n = u64(1) << 16;
     s.limbs = 44;
     s.K = 1;
+    h.config("n", telemetry::Json(s.n));
+    h.config("limbs", telemetry::Json(s.limbs));
 
     AsciiTable t("Fig. 7: operator composition of basic operations "
                  "(percent of work items incl. data movement)");
@@ -37,6 +42,10 @@ main()
         auto pct = [&](double v) {
             return AsciiTable::num(100.0 * v / total, 1);
         };
+        h.metric(std::string(name) + ".mm_share_pct",
+                 100.0 * mm / total);
+        h.metric(std::string(name) + ".mem_share_pct",
+                 100.0 * mem / total);
         t.row({name, pct(ma), pct(mm), pct(ntt), pct(au), pct(mem)});
     };
 
@@ -74,5 +83,5 @@ main()
 
     std::printf("\nCiphertext parameters: N=2^16, L=44 (the paper's "
                 "Fig. 7 setting).\n");
-    return 0;
+    return h.finish();
 }

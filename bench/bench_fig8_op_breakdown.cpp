@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "hw/sim.h"
 #include "workloads/workloads.h"
@@ -12,8 +14,9 @@ using namespace poseidon;
 using isa::BasicOp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig8_op_breakdown", argc, argv);
     hw::PoseidonSim sim;
 
     const BasicOp cols[] = {BasicOp::HAdd, BasicOp::PMult,
@@ -28,11 +31,14 @@ main()
 
     for (const auto &w : workloads::paper_benchmarks()) {
         auto r = sim.run(w.trace);
+        h.record_sim(w.name, r, sim.config());
         std::vector<std::string> row = {
             w.name, AsciiTable::num(r.seconds * 1e3, 1)};
         for (BasicOp b : cols) {
             auto it = r.tagSeconds.find(b);
             double sec = it == r.tagSeconds.end() ? 0.0 : it->second;
+            h.metric(w.name + "." + isa::to_string(b) + "_pct",
+                     100.0 * sec / r.seconds);
             row.push_back(AsciiTable::num(100.0 * sec / r.seconds, 1));
         }
         t.row(row);
@@ -41,5 +47,5 @@ main()
 
     std::printf("\nShape check (paper): Keyswitch-heavy operations "
                 "(CMult, Rotation) and Bootstrapping dominate.\n");
-    return 0;
+    return h.finish();
 }

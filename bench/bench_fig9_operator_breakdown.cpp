@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "hw/sim.h"
 #include "workloads/workloads.h"
@@ -12,8 +14,9 @@ using namespace poseidon;
 using isa::OpKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("fig9_operator_breakdown", argc, argv);
     hw::PoseidonSim sim;
 
     AsciiTable t("Fig. 9: key-operator time breakdown per benchmark "
@@ -29,6 +32,9 @@ main()
                      r.kind_cycles(OpKind::INTT);
         double au = r.kind_cycles(OpKind::AUTO);
         double total = ma + mm + ntt + au;
+        h.record_sim(w.name, r, sim.config());
+        h.metric(w.name + ".mm_pct", 100.0 * mm / total);
+        h.metric(w.name + ".ntt_pct", 100.0 * ntt / total);
         auto pct = [&](double v) {
             return AsciiTable::num(100.0 * v / total, 2);
         };
@@ -40,5 +46,5 @@ main()
     std::printf("\nShape check (paper Fig. 9): MM and NTT take most of "
                 "the operator time; MA is cheap despite its\nfrequency; "
                 "automorphism is small thanks to HFAuto.\n");
-    return 0;
+    return h.finish();
 }

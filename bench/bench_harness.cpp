@@ -1,0 +1,95 @@
+#include "bench/bench_harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+namespace poseidon::bench {
+
+std::string
+git_describe()
+{
+    FILE *p = ::popen("git describe --always --dirty 2>/dev/null", "r");
+    if (!p) return "unknown";
+    char buf[128];
+    std::string out;
+    while (std::fgets(buf, sizeof(buf), p)) out += buf;
+    int rc = ::pclose(p);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+        out.pop_back();
+    }
+    if (rc != 0 || out.empty()) return "unknown";
+    return out;
+}
+
+Harness::Harness(std::string name, int argc, char **argv)
+    : name_(std::move(name))
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--no-json") writeJson_ = false;
+    }
+    std::string dir;
+    if (const char *env = std::getenv("POSEIDON_BENCH_DIR")) dir = env;
+    if (!dir.empty() && dir.back() != '/') dir += '/';
+    outPath_ = dir + "BENCH_" + name_ + ".json";
+}
+
+void
+Harness::config(const std::string &key, telemetry::Json v)
+{
+    config_.set(key, std::move(v));
+}
+
+void
+Harness::metric(const std::string &key, double v)
+{
+    metrics_.set(key, telemetry::Json(v));
+}
+
+void
+Harness::record_sim(const std::string &prefix, const hw::SimResult &r,
+                    const hw::HwConfig &cfg)
+{
+    metric(prefix + ".cycles", r.cycles);
+    metric(prefix + ".seconds", r.seconds);
+    metric(prefix + ".bandwidth_util", r.bandwidth_utilization(cfg));
+    totalCycles_ += r.cycles;
+    totalSeconds_ += r.seconds;
+    totalBytes_ += static_cast<double>(r.bytesRead + r.bytesWritten);
+    peakGBps_ = cfg.hbmPeakGBps;
+}
+
+int
+Harness::finish(int rc)
+{
+    if (finished_ || !writeJson_) return rc;
+    finished_ = true;
+
+    double util = 0.0;
+    if (totalSeconds_ > 0.0 && peakGBps_ > 0.0) {
+        util = totalBytes_ / (totalSeconds_ * peakGBps_ * 1e9);
+    }
+
+    telemetry::Json root = telemetry::Json::object();
+    root.set("schema_version", telemetry::Json(1));
+    root.set("name", telemetry::Json(name_));
+    root.set("git", telemetry::Json(git_describe()));
+    root.set("config", config_);
+    root.set("metrics", metrics_);
+    root.set("cycles", telemetry::Json(totalCycles_));
+    root.set("seconds", telemetry::Json(totalSeconds_));
+    root.set("bandwidth_util", telemetry::Json(util));
+
+    std::ofstream out(outPath_);
+    if (!out) {
+        std::fprintf(stderr, "bench harness: cannot write %s\n",
+                     outPath_.c_str());
+        return 1;
+    }
+    out << root.dump(2) << "\n";
+    std::printf("\n[bench] wrote %s\n", outPath_.c_str());
+    return rc;
+}
+
+} // namespace poseidon::bench

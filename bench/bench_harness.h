@@ -1,0 +1,83 @@
+#ifndef POSEIDON_BENCH_BENCH_HARNESS_H_
+#define POSEIDON_BENCH_BENCH_HARNESS_H_
+
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks.
+ *
+ * Every bench binary keeps printing its ASCII tables to stdout —
+ * that is the human-facing artifact — and additionally emits a
+ * machine-readable summary `BENCH_<name>.json` so CI and scripts can
+ * track results across commits without scraping tables. Schema
+ * (version 1):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "name":    "<bench name>",
+ *     "git":     "<git describe --always --dirty, or 'unknown'>",
+ *     "config":  { ... bench-declared knobs ... },
+ *     "metrics": { ... bench-declared scalars ... },
+ *     "cycles":  <total modeled cycles across record_sim() calls>,
+ *     "seconds": <total modeled seconds>,
+ *     "bandwidth_util": <HBM bytes / (seconds * peak), 0 if no sim>
+ *   }
+ *
+ * The JSON lands in $POSEIDON_BENCH_DIR (default: the working
+ * directory); `--no-json` suppresses it entirely.
+ */
+
+#include <string>
+#include <vector>
+
+#include "hw/sim.h"
+#include "telemetry/json.h"
+
+namespace poseidon::bench {
+
+/// `git describe --always --dirty` of the working tree, or "unknown"
+/// when git (or the repo) is unavailable.
+std::string git_describe();
+
+class Harness
+{
+  public:
+    /// `name` becomes the JSON's "name" and its filename
+    /// (BENCH_<name>.json). argv is scanned for --no-json.
+    Harness(std::string name, int argc = 0, char **argv = nullptr);
+
+    /// Declare a configuration knob (shape, sweep bounds, ...).
+    void config(const std::string &key, telemetry::Json v);
+
+    /// Declare a result scalar.
+    void metric(const std::string &key, double v);
+
+    /// Record one simulator run: emits `<prefix>.cycles`,
+    /// `<prefix>.seconds`, `<prefix>.bandwidth_util` metrics and
+    /// accumulates the run into the top-level totals.
+    void record_sim(const std::string &prefix, const hw::SimResult &r,
+                    const hw::HwConfig &cfg);
+
+    /// Write BENCH_<name>.json (unless --no-json) and pass `rc`
+    /// through, so `return h.finish();` ends main(). Reports and
+    /// returns 1 if the file cannot be written.
+    int finish(int rc = 0);
+
+    /// Where finish() will write (resolved at construction).
+    const std::string &output_path() const { return outPath_; }
+
+  private:
+    std::string name_;
+    std::string outPath_;
+    bool writeJson_ = true;
+    bool finished_ = false;
+    telemetry::Json config_ = telemetry::Json::object();
+    telemetry::Json metrics_ = telemetry::Json::object();
+    double totalCycles_ = 0.0;
+    double totalSeconds_ = 0.0;
+    double totalBytes_ = 0.0;
+    double peakGBps_ = 0.0;
+};
+
+} // namespace poseidon::bench
+
+#endif // POSEIDON_BENCH_BENCH_HARNESS_H_

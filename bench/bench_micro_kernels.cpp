@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_harness.h"
 #include "common/prng.h"
 #include "ntt/fusion.h"
 #include "poly/automorphism.h"
@@ -152,7 +153,45 @@ BM_RnsConv(benchmark::State &state)
 }
 BENCHMARK(BM_RnsConv)->Arg(4)->Arg(8)->Arg(16);
 
+/// Console output as usual, plus every timing into the bench harness
+/// (metric `<benchmark>.ns_per_iter`) so the run lands in
+/// BENCH_micro_kernels.json like the table benches.
+class HarnessReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit HarnessReporter(bench::Harness &h) : h_(h) {}
+
+    void ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.error_occurred) continue;
+            h_.metric(run.benchmark_name() + ".ns_per_iter",
+                      run.GetAdjustedRealTime());
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+  private:
+    bench::Harness &h_;
+};
+
 } // namespace
 } // namespace poseidon
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    poseidon::bench::Harness h("micro_kernels", argc, argv);
+    // Strip the harness's flag before google-benchmark sees it.
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--no-json") argv[kept++] = argv[i];
+    }
+    argc = kept;
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    poseidon::HarnessReporter reporter(h);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return h.finish();
+}

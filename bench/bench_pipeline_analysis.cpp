@@ -5,6 +5,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "hw/pipeline.h"
 #include "workloads/workloads.h"
@@ -12,8 +14,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("pipeline_analysis", argc, argv);
     hw::PoseidonSim analytic;
     hw::PipelineSim pipeline;
 
@@ -25,6 +28,10 @@ main()
     for (const auto &w : workloads::paper_benchmarks()) {
         auto ra = analytic.run(w.trace);
         auto rp = pipeline.run(w.trace);
+        h.record_sim(w.name, ra, analytic.config());
+        h.metric(w.name + ".pipeline_ms", rp.seconds * 1e3);
+        h.metric(w.name + ".pipeline_over_analytic",
+                 rp.seconds / ra.seconds);
         auto occ = [&](hw::Unit u) {
             return AsciiTable::num(100.0 * rp.occupancy(u), 1);
         };
@@ -43,5 +50,5 @@ main()
         "overlap differently); MM and NTT are the hot units, matching "
         "Fig. 9's operator breakdown, and\nHBM read occupancy tracks "
         "Table VII's utilization.\n");
-    return 0;
+    return h.finish();
 }

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "baselines/published.h"
 #include "common/table.h"
 #include "hw/energy.h"
@@ -12,8 +14,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table10_edp", argc, argv);
     hw::HwConfig cfg;
     hw::PoseidonSim sim(cfg);
     hw::EnergyModel em(cfg);
@@ -45,10 +48,13 @@ main()
     std::vector<std::string> row = {"Poseidon (this model)"};
     for (const auto &w : workloads::paper_benchmarks()) {
         auto r = sim.run(w.trace);
+        h.record_sim(w.name, r, sim.config());
         auto e = em.eval(w.trace, r);
         double div = static_cast<double>(w.reportDivisor);
         // Per-report-unit EDP: (E/div) * (T/div).
         double edp = (e.total() / div) * (r.seconds / div);
+        h.metric(w.name + ".edp_joule_seconds", edp);
+        h.metric(w.name + ".energy_joules", e.total());
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.3g", edp);
         row.push_back(buf);
@@ -60,5 +66,5 @@ main()
                 "than the GPU on LR; better than CraterLake/BTS\non "
                 "LR/ResNet-20; ASICs (esp. ARK) win on "
                 "bootstrapping-dominated workloads.\n");
-    return 0;
+    return h.finish();
 }

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "baselines/published.h"
 #include "common/table.h"
 #include "hw/resource.h"
@@ -11,8 +13,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table11_resources", argc, argv);
     hw::ResourceModel rm;
     hw::DeviceCapacity cap;
 
@@ -25,6 +28,13 @@ main()
                std::to_string(r.uram)});
     }
     auto total = rm.total();
+    h.metric("total.ff", static_cast<double>(total.ff));
+    h.metric("total.dsp", static_cast<double>(total.dsp));
+    h.metric("total.lut", static_cast<double>(total.lut));
+    h.metric("total.bram", static_cast<double>(total.bram));
+    h.metric("total.uram", static_cast<double>(total.uram));
+    h.metric("util.dsp_pct", 100.0 * total.dsp / cap.dsp);
+    h.metric("util.lut_pct", 100.0 * total.lut / cap.lut);
     t.row({"Utilization (%)",
            AsciiTable::num(100.0 * total.ff / cap.ff, 1),
            AsciiTable::num(100.0 * total.dsp / cap.dsp, 1),
@@ -49,5 +59,5 @@ main()
                 "than the prior prototypes thanks to operator reuse;\n"
                 "DSPs concentrate in the MM/NTT/SBT multiplier "
                 "pipelines.\n");
-    return 0;
+    return h.finish();
 }

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "common/table.h"
 #include "isa/compiler.h"
 
@@ -12,12 +13,15 @@ using namespace poseidon;
 using namespace poseidon::isa;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table1_operator_reuse", argc, argv);
     OpShape s;
     s.n = u64(1) << 16;
     s.limbs = 44;
     s.K = 1;
+    h.config("n", telemetry::Json(s.n));
+    h.config("limbs", telemetry::Json(s.limbs));
 
     struct Row
     {
@@ -63,6 +67,12 @@ main()
     for (const auto &r : rows) {
         bool ntt = r.trace.uses(r.tag, OpKind::NTT) ||
                    r.trace.uses(r.tag, OpKind::INTT);
+        int used = (r.trace.uses(r.tag, OpKind::MA) ? 1 : 0) +
+                   (r.trace.uses(r.tag, OpKind::MM) ? 1 : 0) +
+                   (ntt ? 1 : 0) +
+                   (r.trace.uses(r.tag, OpKind::AUTO) ? 1 : 0) +
+                   (r.trace.uses(r.tag, OpKind::SBT) ? 1 : 0);
+        h.metric(std::string(r.name) + ".operators_used", used);
         table.row({r.name, mark(r.trace.uses(r.tag, OpKind::MA)),
                    mark(r.trace.uses(r.tag, OpKind::MM)), mark(ntt),
                    mark(r.trace.uses(r.tag, OpKind::AUTO)),
@@ -72,5 +82,5 @@ main()
 
     std::printf("\nShape: N=2^16, 44 ciphertext primes, 1 special "
                 "prime.\n");
-    return 0;
+    return h.finish();
 }

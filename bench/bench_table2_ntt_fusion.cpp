@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "common/prng.h"
 #include "common/table.h"
 #include "ntt/fusion.h"
@@ -13,8 +14,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table2_ntt_fusion", argc, argv);
     AsciiTable table(
         "Table II: conventional NTT vs NTT-fusion (per 2^k-point block)");
     table.header({"k", "W (unfused)", "W (fused)", "Mult/Add (unfused)",
@@ -22,6 +24,10 @@ main()
                   "ModRed (fused)"});
     for (unsigned k = 2; k <= 6; ++k) {
         FusionCostModel m{k};
+        h.metric("k" + std::to_string(k) + ".twiddles_fused",
+                 static_cast<double>(m.twiddles_fused()));
+        h.metric("k" + std::to_string(k) + ".mult_fused",
+                 static_cast<double>(m.mult_fused()));
         char mu[32], mf[32];
         std::snprintf(mu, sizeof(mu), "%llu / %llu",
                       (unsigned long long)m.mult_unfused(),
@@ -44,6 +50,7 @@ main()
     chk.header({"k", "phases (model)", "phases (measured)",
                 "butterflies (measured)", "bit-exact vs reference"});
     std::size_t n = 4096;
+    h.config("n", telemetry::Json(n));
     u64 q = generate_ntt_primes(n, 30, 1)[0];
     NttTable ref(n, q);
     Prng prng(1);
@@ -55,6 +62,8 @@ main()
         fused.forward(a.data());
         ref.forward(b.data());
         bool exact = a == b;
+        h.metric("k" + std::to_string(k) + ".bit_exact",
+                 exact ? 1.0 : 0.0);
         chk.row({std::to_string(k),
                  std::to_string(FusionCostModel::phases(n, k)),
                  std::to_string(fused.stats().phases),
@@ -62,5 +71,5 @@ main()
                  exact ? "yes" : "NO"});
     }
     chk.print();
-    return 0;
+    return h.finish();
 }

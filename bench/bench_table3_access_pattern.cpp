@@ -5,15 +5,19 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "common/table.h"
 #include "ntt/fusion.h"
 
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table3_access_pattern", argc, argv);
     const std::size_t n = 4096;
+    h.config("n", telemetry::Json(n));
+    h.config("k", telemetry::Json(3));
     AsciiTable table(
         "Table III: NTT data access pattern (N = 4096, k = 3)");
     table.header({"Iteration", "Conventional offset (2^(it-1))",
@@ -33,11 +37,13 @@ main()
                    std::to_string(ap.stride(it)), idx});
     }
     table.print();
+    h.metric("iterations_conventional", 12.0);
+    h.metric("iterations_fused", static_cast<double>(ap.iterations()));
 
     std::printf("\nConventional NTT: %u iterations; NTT-fusion (k=3): "
                 "%u iterations.\n",
                 12u, ap.iterations());
     std::printf("Iteration 2 loads indices 0, 8, 16, 24, 32, 40, 48, 56 "
                 "— matching Fig. 5 of the paper.\n");
-    return 0;
+    return h.finish();
 }

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "baselines/cpu.h"
 #include "baselines/published.h"
 #include "common/table.h"
@@ -38,8 +40,9 @@ rate(double opsPerSec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table4_basic_ops", argc, argv);
     // --- CPU baseline: measure small, extrapolate to paper shape. ---
     CkksParams mp;
     mp.logN = 12;
@@ -59,6 +62,8 @@ main()
     paper.n = u64(1) << 16;
     paper.limbs = 44;
     paper.K = 1;
+    h.config("n", telemetry::Json(paper.n));
+    h.config("limbs", telemetry::Json(paper.limbs));
     auto cpu = baselines::CpuBaseline::scale_to(measured, from, paper);
 
     // --- Poseidon: cycle model at the paper shape. ---
@@ -106,6 +111,10 @@ main()
         {"Rescale", 1.0 / cpu.rescale, gpu.rescale, heax.rescale, pResc},
     };
     for (const auto &r : rows) {
+        h.metric(std::string(r.name) + ".poseidon_ops_per_sec",
+                 r.poseidon);
+        h.metric(std::string(r.name) + ".speedup_vs_cpu",
+                 r.poseidon / r.cpu);
         table.row({r.name, rate(r.cpu), rate(r.gpu), rate(r.heax),
                    rate(r.poseidon),
                    AsciiTable::speedup(r.poseidon / r.cpu, 0)});
@@ -118,5 +127,5 @@ main()
         "572x. Expected shape: speedup grows with operation\ncomplexity; "
         "absolute ratios differ because our CPU baseline is this "
         "library, not SEAL on a Xeon.\n");
-    return 0;
+    return h.finish();
 }

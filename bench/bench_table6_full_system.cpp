@@ -5,6 +5,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "baselines/published.h"
 #include "common/table.h"
 #include "hw/sim.h"
@@ -13,8 +15,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table6_full_system", argc, argv);
     // ---- Table V: benchmark descriptions ----
     AsciiTable tv("Table V: evaluation benchmarks");
     tv.header({"Benchmark", "Description", "Bootstraps"});
@@ -60,8 +63,10 @@ main()
         std::vector<double> ours;
         for (const auto &w : benches) {
             auto r = sim.run(w.trace);
+            h.record_sim(w.name, r, sim.config());
             ours.push_back(r.seconds * 1e3 /
                            static_cast<double>(w.reportDivisor));
+            h.metric(w.name + ".report_ms", ours.back());
         }
         tp.row({"Poseidon (this model)", AsciiTable::num(ours[0], 2),
                 AsciiTable::num(ours[1], 1), AsciiTable::num(ours[2], 1),
@@ -73,7 +78,9 @@ main()
                     "= %.1fx (paper: 10.6x);\nover the slowest ASIC (F1+) "
                     "= %.1fx (paper: 8.7x).\n",
                     gpu.lr / ours[0], f1.lr / ours[0]);
+        h.metric("speedup_vs_gpu_lr", gpu.lr / ours[0]);
+        h.metric("speedup_vs_f1p_lr", f1.lr / ours[0]);
     }
     tp.print();
-    return 0;
+    return h.finish();
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "common/table.h"
 #include "hw/sim.h"
 #include "workloads/workloads.h"
@@ -16,12 +17,15 @@ using isa::OpShape;
 using isa::Trace;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table7_bandwidth", argc, argv);
     hw::PoseidonSim sim;
     OpShape s = workloads::paper_shape();
     s.dnum = 0; // basic ops at digit-per-prime keyswitching
     s.K = 1;
+    h.config("n", telemetry::Json(s.n));
+    h.config("limbs", telemetry::Json(s.limbs));
 
     AsciiTable t1(
         "Table VII (top): bandwidth utilization of basic operations");
@@ -30,6 +34,8 @@ main()
 
     auto row = [&](const char *name, Trace &t) {
         auto r = sim.run(t);
+        h.metric(std::string(name) + ".bandwidth_util",
+                 r.bandwidth_utilization(sim.config()));
         double mb = static_cast<double>(r.bytesRead + r.bytesWritten) /
                     1e6;
         t1.row({name,
@@ -86,6 +92,7 @@ main()
                "time (ms)"});
     for (const auto &w : workloads::paper_benchmarks()) {
         auto r = sim.run(w.trace);
+        h.record_sim(w.name, r, sim.config());
         t2.row({w.name,
                 AsciiTable::num(100.0 * r.bandwidth_utilization(
                                             sim.config()),
@@ -100,5 +107,5 @@ main()
 
     std::printf("\nPaper shape check: HAdd/PMult ~98%% (streaming), "
                 "Rescale lowest (~26-30%%), benchmarks mid-range.\n");
-    return 0;
+    return h.finish();
 }

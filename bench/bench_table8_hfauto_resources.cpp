@@ -6,6 +6,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/prng.h"
 #include "common/table.h"
 #include "hw/resource.h"
@@ -16,8 +18,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table8_hfauto_resources", argc, argv);
     AsciiTable t(
         "Table VIII: automorphism core — naive Auto vs HFAuto "
         "(N = 2^16, C = 512)");
@@ -26,6 +29,9 @@ main()
         auto r = hw::ResourceModel::auto_single(hf, 512);
         u64 lat = hw::ResourceModel::auto_latency_cycles(u64(1) << 16,
                                                          hf, 512);
+        std::string pre = hf ? "hfauto" : "naive";
+        h.metric(pre + ".lut", static_cast<double>(r.lut));
+        h.metric(pre + ".latency_cycles", static_cast<double>(lat));
         t.row({r.name, std::to_string(r.ff), std::to_string(r.dsp),
                std::to_string(r.lut), std::to_string(r.bram),
                std::to_string(lat)});
@@ -51,6 +57,7 @@ main()
     auto t2 = std::chrono::steady_clock::now();
 
     bool exact = ref == got;
+    h.metric("bit_exact", exact ? 1.0 : 0.0);
     std::printf("\nSoftware cross-check at N=2^16, g=5^17: HFAuto %s "
                 "the reference map.\n",
                 exact ? "is bit-exact with" : "DIFFERS FROM");
@@ -59,5 +66,5 @@ main()
                 "hardware where stages pipeline at C elems/cycle).\n",
                 std::chrono::duration<double>(t1 - t0).count() * 1e3,
                 std::chrono::duration<double>(t2 - t1).count() * 1e3);
-    return exact ? 0 : 1;
+    return h.finish(exact ? 0 : 1);
 }

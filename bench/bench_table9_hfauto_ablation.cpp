@@ -5,6 +5,8 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
+
 #include "common/table.h"
 #include "hw/sim.h"
 #include "workloads/workloads.h"
@@ -12,8 +14,9 @@
 using namespace poseidon;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness h("table9_hfauto_ablation", argc, argv);
     hw::HwConfig cfgNaive;
     cfgNaive.hfauto = false;
     hw::PoseidonSim simNaive(cfgNaive);
@@ -30,8 +33,11 @@ main()
     for (const auto &w : benches) {
         double tn = simNaive.run(w.trace).seconds * 1e3 /
                     static_cast<double>(w.reportDivisor);
-        double th = simHf.run(w.trace).seconds * 1e3 /
+        hw::SimResult rh = simHf.run(w.trace);
+        h.record_sim(w.name, rh, simHf.config());
+        double th = rh.seconds * 1e3 /
                     static_cast<double>(w.reportDivisor);
+        h.metric(w.name + ".slowdown_without_hfauto", tn / th);
         naiveRow.push_back(AsciiTable::num(tn, 1));
         hfRow.push_back(AsciiTable::num(th, 1));
         ratioRow.push_back(AsciiTable::speedup(tn / th, 2));
@@ -43,5 +49,5 @@ main()
 
     std::printf("\nPaper Table IX reports ~10x degradation for "
                 "Poseidon-Auto on rotation-heavy benchmarks.\n");
-    return 0;
+    return h.finish();
 }

@@ -26,9 +26,12 @@
 #include "ckks/evaluator.h"
 #include "ckks/security.h"
 #include "ckks/serialize.h"
+#include "common/check.h"
 #include "common/logging.h"
 #include "hw/sim.h"
 #include "isa/compiler.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 
 using namespace poseidon;
 
@@ -46,6 +49,9 @@ constexpr unsigned kMaxLevels = 8;
 std::string
 server_compute(const std::string &request)
 {
+    POSEIDON_SPAN("server_compute");
+    telemetry::count("server.requests");
+    telemetry::ScopedLatency lat("server.request_us");
     try {
         std::istringstream in(request);
         CkksParams params = io::read_params(in);
@@ -79,6 +85,9 @@ server_compute(const std::string &request)
         io::write_ciphertext(out, prod);
         return out.str();
     } catch (const Error &e) {
+        telemetry::count("server.error_frames");
+        POSEIDON_LOG(WARN) << "request rejected [" << to_string(e.code())
+                           << "]: " << e.message();
         std::ostringstream out;
         io::write_error_frame(out, e.code(), e.message());
         return out.str();
@@ -250,6 +259,12 @@ main()
     if (!served) {
         std::printf("accelerator unavailable after bounded retries\n");
     }
+
+    // ---- Shutdown: expose the service's metrics ----
+    std::printf("\n-- metrics (Prometheus exposition) --\n%s",
+                telemetry::MetricsRegistry::global()
+                    .prometheus_text()
+                    .c_str());
 
     return ok && gotErrorFrame && served ? 0 : 1;
 }

@@ -7,7 +7,7 @@
 #include "ckks/encoder.h"
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon::baselines {
 

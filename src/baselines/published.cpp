@@ -1,6 +1,6 @@
 #include "baselines/published.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon::baselines {
 

@@ -4,7 +4,9 @@
 
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 
 namespace poseidon {
 
@@ -332,6 +334,8 @@ Ciphertext
 Bootstrapper::bootstrap(const Ciphertext &ct,
                         const CkksEvaluator &eval) const
 {
+    POSEIDON_SPAN("Bootstrapper::bootstrap");
+    telemetry::count("ckks.ops.bootstrap");
     POSEIDON_REQUIRE(ctx_->params().L >= levels_consumed() + 2,
                      "bootstrap: modulus chain too short for the "
                      "configured EvalMod depth");

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "poly/automorphism.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 
 namespace poseidon {
 
@@ -65,6 +67,7 @@ CkksEvaluator::sub(const Ciphertext &a, const Ciphertext &b) const
 void
 CkksEvaluator::add_inplace(Ciphertext &a, const Ciphertext &b) const
 {
+    telemetry::count("ckks.ops.add");
     check_same_shape(a, b);
     a.c0.add_inplace(b.c0);
     a.c1.add_inplace(b.c1);
@@ -73,6 +76,7 @@ CkksEvaluator::add_inplace(Ciphertext &a, const Ciphertext &b) const
 void
 CkksEvaluator::sub_inplace(Ciphertext &a, const Ciphertext &b) const
 {
+    telemetry::count("ckks.ops.sub");
     check_same_shape(a, b);
     a.c0.sub_inplace(b.c0);
     a.c1.sub_inplace(b.c1);
@@ -118,6 +122,7 @@ CkksEvaluator::sub_plain(const Ciphertext &a, const Plaintext &p) const
 Ciphertext
 CkksEvaluator::mul_plain(const Ciphertext &a, const Plaintext &p) const
 {
+    telemetry::count("ckks.ops.mul_plain");
     POSEIDON_REQUIRE_T(ShapeMismatch, a.num_limbs() == p.num_limbs(),
                        "mul_plain: level mismatch (" << a.num_limbs()
                        << " vs " << p.num_limbs() << " limbs)");
@@ -176,6 +181,8 @@ Ciphertext
 CkksEvaluator::mul(const Ciphertext &a, const Ciphertext &b,
                    const KSwitchKey &relinKey) const
 {
+    POSEIDON_SPAN("Evaluator::mul");
+    telemetry::count("ckks.ops.mul");
     POSEIDON_REQUIRE_T(ShapeMismatch, a.num_limbs() == b.num_limbs(),
                        "mul: level mismatch (" << a.num_limbs()
                        << " vs " << b.num_limbs() << " limbs)");
@@ -328,6 +335,9 @@ CkksEvaluator::mod_down_pair(RnsPoly &&acc0, RnsPoly &&acc1,
 std::pair<RnsPoly, RnsPoly>
 CkksEvaluator::keyswitch_core(const RnsPoly &d, const KSwitchKey &key) const
 {
+    POSEIDON_SPAN("Evaluator::keyswitch");
+    telemetry::count("ckks.ops.keyswitch");
+    telemetry::ScopedLatency lat("ckks.keyswitch_us");
     POSEIDON_REQUIRE(d.domain() == Domain::Eval,
                      "keyswitch_core: input must be in Eval domain");
     const auto &ring = ctx_->ring();
@@ -403,6 +413,9 @@ CkksEvaluator::rescale_poly(RnsPoly &p) const
 void
 CkksEvaluator::rescale_inplace(Ciphertext &a) const
 {
+    POSEIDON_SPAN("Evaluator::rescale");
+    telemetry::count("ckks.ops.rescale");
+    telemetry::ScopedLatency lat("ckks.rescale_us");
     POSEIDON_REQUIRE_T(NoiseBudgetExhausted, a.num_limbs() >= 2,
                        "rescale: no modulus level left to drop");
     u64 ql = a.c0.prime(a.num_limbs() - 1);
@@ -477,6 +490,8 @@ Ciphertext
 CkksEvaluator::apply_galois(const Ciphertext &a, u64 galois,
                             const KSwitchKey &key) const
 {
+    POSEIDON_SPAN("Evaluator::apply_galois");
+    telemetry::count("ckks.ops.rotation");
     // tau_g on both components (Eval-domain permutation), then switch
     // tau_g(c1)'s key tau_g(s) back to s.
     RnsPoly c0g = automorphism(a.c0, galois);
@@ -497,6 +512,9 @@ CkksEvaluator::rotate_hoisted(const Ciphertext &a,
                               const std::vector<long> &steps,
                               const GaloisKeys &keys) const
 {
+    telemetry::SpanScope span("Evaluator::rotate_hoisted");
+    span.attr("steps", telemetry::Json(steps.size()));
+    telemetry::count("ckks.ops.rotate_hoisted");
     const auto &ring = ctx_->ring();
     std::size_t n = ctx_->degree();
     std::size_t limbs = a.num_limbs();

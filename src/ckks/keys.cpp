@@ -1,6 +1,6 @@
 #include "ckks/keys.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "poly/automorphism.h"
 
 namespace poseidon {

@@ -3,7 +3,8 @@
 #include <cmath>
 
 #include "ckks/encryptor.h"
-#include "common/logging.h"
+#include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace poseidon {
 
@@ -36,7 +37,9 @@ NoiseInspector::noise_bits(const Ciphertext &ct,
                           std::abs(basis.compose_centered_double(
                               res.data())));
     }
-    return maxAbs <= 0.0 ? -1e9 : std::log2(maxAbs);
+    double bits = maxAbs <= 0.0 ? -1e9 : std::log2(maxAbs);
+    telemetry::gauge_set("ckks.noise.noise_bits", bits);
+    return bits;
 }
 
 double
@@ -59,8 +62,10 @@ NoiseInspector::budget_bits(const Ciphertext &ct,
     for (const auto &v : expected) {
         maxMag = std::max(maxMag, std::abs(v));
     }
-    return capacity_bits(ct) - std::log2(ct.scale) -
-           std::max(0.0, std::log2(maxMag));
+    double bits = capacity_bits(ct) - std::log2(ct.scale) -
+                  std::max(0.0, std::log2(maxMag));
+    telemetry::gauge_set("ckks.noise.budget_bits", bits);
+    return bits;
 }
 
 } // namespace poseidon

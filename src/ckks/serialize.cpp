@@ -5,7 +5,7 @@
 #include <istream>
 #include <ostream>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon::io {
 

@@ -1,0 +1,58 @@
+#ifndef POSEIDON_COMMON_CHECK_H_
+#define POSEIDON_COMMON_CHECK_H_
+
+/**
+ * @file
+ * Check macros used across the Poseidon library, built on the typed
+ * error hierarchy in common/status.h. (Formerly misnamed
+ * common/logging.h — the leveled logger now lives there.)
+ *
+ * `POSEIDON_REQUIRE` guards user-facing preconditions (bad parameters
+ * -> poseidon::InvalidArgument); `POSEIDON_CHECK` guards internal
+ * invariants (library bugs -> poseidon::InternalError). Both record
+ * the stringified condition, file and line, and accept streamed
+ * messages:
+ *
+ *   POSEIDON_REQUIRE(limbs <= L, "got " << limbs << " limbs, max " << L);
+ *
+ * `POSEIDON_REQUIRE_T` throws a specific error type from status.h
+ * (ShapeMismatch, ParseError, NoiseBudgetExhausted, FaultDetected),
+ * and `POSEIDON_THROW` throws unconditionally.
+ */
+
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace poseidon {
+
+/// Throw a typed error with file/line and a streamed message.
+#define POSEIDON_THROW(ErrType, msg)                                       \
+    do {                                                                   \
+        std::ostringstream poseidon_oss_;                                  \
+        poseidon_oss_ << msg; /* NOLINT: streamed composition */           \
+        throw ::poseidon::ErrType(poseidon_oss_.str(), __FILE__,           \
+                                  __LINE__);                               \
+    } while (0)
+
+/// Precondition with an explicit error type from status.h.
+#define POSEIDON_REQUIRE_T(ErrType, cond, msg)                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            POSEIDON_THROW(ErrType, msg << " [" #cond "]");                \
+        }                                                                  \
+    } while (0)
+
+/// User-facing precondition: failure indicates bad input/parameters.
+#define POSEIDON_REQUIRE(cond, msg)                                        \
+    POSEIDON_REQUIRE_T(InvalidArgument, cond, msg)
+
+/// Internal invariant check: failure indicates a library bug. Throws
+/// (rather than aborting) so a serving boundary can degrade gracefully.
+#define POSEIDON_CHECK(cond, msg)                                          \
+    POSEIDON_REQUIRE_T(InternalError, cond, msg)
+
+} // namespace poseidon
+
+#endif // POSEIDON_COMMON_CHECK_H_

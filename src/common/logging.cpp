@@ -1,0 +1,101 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace poseidon::log {
+
+const char*
+to_string(Level lv)
+{
+    switch (lv) {
+      case Level::TRACE: return "TRACE";
+      case Level::DEBUG: return "DEBUG";
+      case Level::INFO: return "INFO";
+      case Level::WARN: return "WARN";
+      case Level::ERROR: return "ERROR";
+      case Level::OFF: return "OFF";
+    }
+    return "?";
+}
+
+Level
+parse_level(const std::string &text, Level fallback)
+{
+    std::string t;
+    t.reserve(text.size());
+    for (char c : text) {
+        t += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (t == "trace") return Level::TRACE;
+    if (t == "debug") return Level::DEBUG;
+    if (t == "info") return Level::INFO;
+    if (t == "warn" || t == "warning") return Level::WARN;
+    if (t == "error") return Level::ERROR;
+    if (t == "off" || t == "none") return Level::OFF;
+    return fallback;
+}
+
+namespace {
+
+std::atomic<int>&
+threshold_storage()
+{
+    static std::atomic<int> lv = [] {
+        Level initial = Level::WARN;
+        if (const char *env = std::getenv("POSEIDON_LOG_LEVEL")) {
+            initial = parse_level(env, initial);
+        }
+        return std::atomic<int>(static_cast<int>(initial));
+    }();
+    return lv;
+}
+
+const char*
+basename_of(const char *path)
+{
+    const char *slash = std::strrchr(path, '/');
+    return slash ? slash + 1 : path;
+}
+
+} // namespace
+
+Level
+threshold()
+{
+    return static_cast<Level>(
+        threshold_storage().load(std::memory_order_relaxed));
+}
+
+void
+set_threshold(Level lv)
+{
+    threshold_storage().store(static_cast<int>(lv),
+                              std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(Level lv, const char *file, int line)
+    : lv_(lv), file_(file), line_(line)
+{
+}
+
+LogMessage::~LogMessage()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point t0 = clock::now();
+    double sec =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    int h = static_cast<int>(sec / 3600);
+    int m = static_cast<int>(sec / 60) % 60;
+    double s = sec - 3600.0 * h - 60.0 * m;
+    // One fprintf per line keeps concurrent messages unsheared.
+    std::fprintf(stderr, "[poseidon %c %02d:%02d:%06.3f %s:%d] %s\n",
+                 to_string(lv_)[0], h, m, s, basename_of(file_), line_,
+                 oss_.str().c_str());
+}
+
+} // namespace poseidon::log

@@ -3,55 +3,95 @@
 
 /**
  * @file
- * Check macros used across the Poseidon library, built on the typed
- * error hierarchy in common/status.h.
+ * The leveled logger (the check macros formerly here moved to
+ * common/check.h).
  *
- * `POSEIDON_REQUIRE` guards user-facing preconditions (bad parameters
- * -> poseidon::InvalidArgument); `POSEIDON_CHECK` guards internal
- * invariants (library bugs -> poseidon::InternalError). Both record
- * the stringified condition, file and line, and accept streamed
- * messages:
+ *   POSEIDON_LOG(INFO) << "served request in " << us << " us";
  *
- *   POSEIDON_REQUIRE(limbs <= L, "got " << limbs << " limbs, max " << L);
+ * Severities: TRACE < DEBUG < INFO < WARN < ERROR < OFF. The
+ * threshold defaults to WARN so the library is silent in tests and
+ * benchmarks, and is controlled by the POSEIDON_LOG_LEVEL environment
+ * variable ("trace".."error", "off") or set_threshold(). A statement
+ * below the threshold evaluates neither its operands nor any
+ * formatting — the macro short-circuits on one branch. Compiling with
+ * POSEIDON_TELEMETRY_DISABLED removes the statements entirely.
  *
- * `POSEIDON_REQUIRE_T` throws a specific error type from status.h
- * (ShapeMismatch, ParseError, NoiseBudgetExhausted, FaultDetected),
- * and `POSEIDON_THROW` throws unconditionally.
+ * One log statement emits exactly one line to stderr:
+ *
+ *   [poseidon W 00:00:01.234 sim.cpp:87] scratchpad spill x1.7
  */
 
 #include <sstream>
 #include <string>
 
-#include "common/status.h"
+namespace poseidon::log {
 
-namespace poseidon {
+enum class Level : int {
+    TRACE = 0,
+    DEBUG = 1,
+    INFO = 2,
+    WARN = 3,
+    ERROR = 4,
+    OFF = 5,
+};
 
-/// Throw a typed error with file/line and a streamed message.
-#define POSEIDON_THROW(ErrType, msg)                                       \
-    do {                                                                   \
-        std::ostringstream poseidon_oss_;                                  \
-        poseidon_oss_ << msg; /* NOLINT: streamed composition */           \
-        throw ::poseidon::ErrType(poseidon_oss_.str(), __FILE__,           \
-                                  __LINE__);                               \
-    } while (0)
+/// Short name ("TRACE".."ERROR", "OFF").
+const char* to_string(Level lv);
 
-/// Precondition with an explicit error type from status.h.
-#define POSEIDON_REQUIRE_T(ErrType, cond, msg)                             \
-    do {                                                                   \
-        if (!(cond)) {                                                     \
-            POSEIDON_THROW(ErrType, msg << " [" #cond "]");                \
-        }                                                                  \
-    } while (0)
+/// Parse "debug", "WARN", ... (case-insensitive); `fallback` on junk.
+Level parse_level(const std::string &text, Level fallback);
 
-/// User-facing precondition: failure indicates bad input/parameters.
-#define POSEIDON_REQUIRE(cond, msg)                                        \
-    POSEIDON_REQUIRE_T(InvalidArgument, cond, msg)
+/// Current threshold: messages below it are dropped. Initialized once
+/// from POSEIDON_LOG_LEVEL (default WARN).
+Level threshold();
+void set_threshold(Level lv);
 
-/// Internal invariant check: failure indicates a library bug. Throws
-/// (rather than aborting) so a serving boundary can degrade gracefully.
-#define POSEIDON_CHECK(cond, msg)                                          \
-    POSEIDON_REQUIRE_T(InternalError, cond, msg)
+inline bool
+level_enabled(Level lv)
+{
+    return lv >= threshold();
+}
 
-} // namespace poseidon
+/// One log line under construction; emits on destruction.
+class LogMessage
+{
+  public:
+    LogMessage(Level lv, const char *file, int line);
+    ~LogMessage();
+
+    LogMessage(const LogMessage&) = delete;
+    LogMessage& operator=(const LogMessage&) = delete;
+
+    std::ostringstream& stream() { return oss_; }
+
+  private:
+    Level lv_;
+    const char *file_;
+    int line_;
+    std::ostringstream oss_;
+};
+
+#ifdef POSEIDON_TELEMETRY_DISABLED
+/// Compiled out: operands are parsed but never evaluated.
+#define POSEIDON_LOG(severity)                                             \
+    if (true)                                                              \
+        ;                                                                  \
+    else                                                                   \
+        ::poseidon::log::LogMessage(::poseidon::log::Level::severity,      \
+                                    __FILE__, __LINE__)                    \
+            .stream()
+#else
+/// Stream a message at `severity` (TRACE/DEBUG/INFO/WARN/ERROR).
+#define POSEIDON_LOG(severity)                                             \
+    if (!::poseidon::log::level_enabled(                                   \
+            ::poseidon::log::Level::severity))                             \
+        ;                                                                  \
+    else                                                                   \
+        ::poseidon::log::LogMessage(::poseidon::log::Level::severity,      \
+                                    __FILE__, __LINE__)                    \
+            .stream()
+#endif
+
+} // namespace poseidon::log
 
 #endif // POSEIDON_COMMON_LOGGING_H_

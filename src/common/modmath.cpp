@@ -1,6 +1,6 @@
 #include "common/modmath.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon {
 

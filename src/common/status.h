@@ -20,7 +20,7 @@
  *   ├─ FaultDetected        hardware fault surfaced past ECC
  *   └─ InternalError        library invariant broken (was abort())
  *
- * The POSEIDON_REQUIRE / POSEIDON_CHECK macros in common/logging.h are
+ * The POSEIDON_REQUIRE / POSEIDON_CHECK macros in common/check.h are
  * built on this hierarchy.
  */
 

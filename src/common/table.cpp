@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon {
 

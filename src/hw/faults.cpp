@@ -4,7 +4,7 @@
 #include <cmath>
 #include <map>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon::hw {
 

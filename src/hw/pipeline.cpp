@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon::hw {
 

@@ -1,6 +1,6 @@
 #include "hw/resource.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "ntt/fusion.h"
 
 namespace poseidon::hw {

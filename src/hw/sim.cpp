@@ -1,9 +1,12 @@
 #include "hw/sim.h"
 
 #include <algorithm>
+#include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
+#include "hw/sim_telemetry.h"
 #include "ntt/fusion.h"
+#include "telemetry/metrics.h"
 
 namespace poseidon::hw {
 
@@ -101,10 +104,11 @@ PoseidonSim::memory_cycles(const Instr &in) const
 }
 
 SimResult
-PoseidonSim::run(const Trace &trace) const
+PoseidonSim::run(const Trace &trace, SimTimeline *timeline) const
 {
     SimResult r;
     trace.validate();
+    if (timeline) timeline->segments.clear();
     const auto &ins = trace.instrs();
 
     // Fault injection is strictly off at BER = 0: no injector call is
@@ -119,26 +123,40 @@ PoseidonSim::run(const Trace &trace) const
         double segCompute = 0.0, segMem = 0.0, segBytes = 0.0;
         double segRetry = 0.0;
         u64 segDegree = 0;
+        SegmentTiming seg;
+        std::vector<double> instrRetry; // parallels seg.instrs
         while (i < ins.size() && ins[i].tag == tag) {
             const Instr &in = ins[i];
             double c = compute_cycles(in);
             double m = memory_cycles(in);
+            double retry = 0.0;
             segCompute += c;
             segMem += m;
             segDegree = std::max(segDegree, in.degree);
             r.kindCycles[static_cast<int>(in.kind)] += c;
+            u64 bytes = 0;
             if (in.kind == OpKind::HBM_RD) {
-                r.bytesRead += in.elems * cfg_.wordBytes;
-                segBytes += static_cast<double>(in.elems) * cfg_.wordBytes;
+                bytes = in.elems * cfg_.wordBytes;
+                r.bytesRead += bytes;
+                segBytes += static_cast<double>(bytes);
             } else if (in.kind == OpKind::HBM_WR) {
-                r.bytesWritten += in.elems * cfg_.wordBytes;
-                segBytes += static_cast<double>(in.elems) * cfg_.wordBytes;
+                bytes = in.elems * cfg_.wordBytes;
+                r.bytesWritten += bytes;
+                segBytes += static_cast<double>(bytes);
             }
             if (injectFaults && (in.kind == OpKind::HBM_RD ||
                                  in.kind == OpKind::HBM_WR)) {
                 FaultStats fs = injector.transfer(in.elems);
-                segRetry += fs.retryCycles;
+                retry = fs.retryCycles;
+                segRetry += retry;
                 r.faults += fs;
+            }
+            if (timeline) {
+                // memCycles holds the raw value for now; spill scaling
+                // and retries land below once the segment's spill
+                // factor is known.
+                seg.instrs.push_back(InstrTiming{in.kind, c, m, bytes});
+                instrRetry.push_back(retry);
             }
             ++i;
         }
@@ -159,6 +177,18 @@ PoseidonSim::run(const Trace &trace) const
         double ov = cfg_.overlap;
         double segCycles = std::max(segCompute, segMem) +
                            (1.0 - ov) * std::min(segCompute, segMem);
+        if (timeline) {
+            for (std::size_t j = 0; j < seg.instrs.size(); ++j) {
+                seg.instrs[j].memCycles =
+                    seg.instrs[j].memCycles * spill + instrRetry[j];
+            }
+            seg.tag = tag;
+            seg.startCycle = r.cycles;
+            seg.cycles = segCycles;
+            seg.computeCycles = segCompute;
+            seg.memCycles = segMem;
+            timeline->segments.push_back(std::move(seg));
+        }
         r.cycles += segCycles;
         r.computeCycles += segCompute;
         r.memCycles += segMem;
@@ -167,6 +197,10 @@ PoseidonSim::run(const Trace &trace) const
         r.tagBytes[tag] += segBytes;
     }
     r.seconds = r.cycles / (cfg_.clockGHz * 1e9);
+
+    if (telemetry::enabled()) {
+        record_sim_metrics(telemetry::MetricsRegistry::global(), r, cfg_);
+    }
     return r;
 }
 

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <map>
+#include <vector>
 
 #include "hw/config.h"
 #include "isa/trace.h"
@@ -65,6 +66,35 @@ struct SimResult
                                      isa::BasicOp tag) const;
 };
 
+/// Modeled timing of one instruction inside a segment.
+struct InstrTiming
+{
+    isa::OpKind kind;
+    double computeCycles = 0.0;
+    /// Memory cycles after scratchpad-spill scaling and ECC retries —
+    /// what the instruction actually contributes to segment time.
+    double memCycles = 0.0;
+    u64 bytes = 0;
+};
+
+/// Modeled timing of one maximal same-tag segment (one basic op).
+struct SegmentTiming
+{
+    isa::BasicOp tag;
+    double startCycle = 0.0; ///< on the modeled accelerator clock
+    double cycles = 0.0;     ///< overlapped segment duration
+    double computeCycles = 0.0;
+    double memCycles = 0.0;
+    std::vector<InstrTiming> instrs;
+};
+
+/// Optional per-segment/per-instruction timeline of a run — the raw
+/// material for the simulated-cycle Perfetto track (hw/sim_telemetry).
+struct SimTimeline
+{
+    std::vector<SegmentTiming> segments;
+};
+
 /// The accelerator model.
 class PoseidonSim
 {
@@ -73,8 +103,11 @@ class PoseidonSim
 
     const HwConfig& config() const { return cfg_; }
 
-    /// Run a trace through the timing model.
-    SimResult run(const isa::Trace &trace) const;
+    /// Run a trace through the timing model. When `timeline` is
+    /// non-null it is filled with the per-segment schedule (cleared
+    /// first); pricing is identical either way.
+    SimResult run(const isa::Trace &trace,
+                  SimTimeline *timeline = nullptr) const;
 
     /// Compute cycles of a single instruction (exposed for tests).
     double compute_cycles(const isa::Instr &in) const;

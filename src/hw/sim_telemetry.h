@@ -1,0 +1,43 @@
+#ifndef POSEIDON_HW_SIM_TELEMETRY_H_
+#define POSEIDON_HW_SIM_TELEMETRY_H_
+
+/**
+ * @file
+ * Bridges the accelerator model into the telemetry subsystem.
+ *
+ * record_sim_metrics() turns one SimResult into registry counters —
+ * the per-kind cycle counters reproduce SimResult.kindCycles exactly
+ * (one add per kind, same doubles), so a metrics dump after a single
+ * run equals the paper-style breakdown to the last cycle. PoseidonSim
+ * calls it on every run when telemetry is enabled.
+ *
+ * append_sim_track() synthesizes a Perfetto track (process kSimPid)
+ * from the per-segment timeline of a run: one "basic ops" row of
+ * tag-level segments, plus "compute" and "HBM" rows sequencing the
+ * per-instruction cycles inside each segment. Timestamps are modeled
+ * cycles converted to microseconds at the configured clock, so the
+ * track reads in accelerator time next to host wall-time spans.
+ * Every event carries its exact cycle count in args.cycles.
+ */
+
+#include "hw/sim.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
+
+namespace poseidon::hw {
+
+/// Accumulate one run's aggregates into `reg` (counters
+/// "sim.kind_cycles.<KIND>", "sim.cycles", "sim.hbm.*",
+/// "sim.faults.*"; gauge "sim.bandwidth_utilization").
+void record_sim_metrics(telemetry::MetricsRegistry &reg,
+                        const SimResult &r, const HwConfig &cfg);
+
+/// Append the simulated-cycle timeline to `tracer` under
+/// Tracer::kSimPid. `offsetUs` shifts the track on the global
+/// timeline (e.g. to align with the host span that launched the run).
+void append_sim_track(telemetry::Tracer &tracer, const SimTimeline &tl,
+                      const HwConfig &cfg, double offsetUs = 0.0);
+
+} // namespace poseidon::hw
+
+#endif // POSEIDON_HW_SIM_TELEMETRY_H_

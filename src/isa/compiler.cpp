@@ -1,8 +1,10 @@
 #include "isa/compiler.h"
 
 #include <cmath>
+#include <string>
 
-#include "common/logging.h"
+#include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace poseidon::isa {
 
@@ -15,11 +17,51 @@ ct_words(const OpShape &s)
     return 2 * s.limbs * s.n;
 }
 
+/**
+ * Counts the instructions an emitter appends into the telemetry
+ * registry ("isa.instrs.<BasicOp>"). Nested emitters (the keyswitch
+ * inside CMult/Rotation) are charged to the outermost basic operation
+ * only, matching how the trace tags attribute the work.
+ */
+class EmitMeter
+{
+  public:
+    EmitMeter(const Trace &t, BasicOp tag)
+        : t_(t), tag_(tag), before_(t.size())
+    {
+        ++depth();
+    }
+
+    ~EmitMeter()
+    {
+        if (--depth() > 0 || !telemetry::enabled()) return;
+        double n = static_cast<double>(t_.size() - before_);
+        auto &reg = telemetry::MetricsRegistry::global();
+        reg.counter(std::string("isa.instrs.") + to_string(tag_)).add(n);
+        reg.counter("isa.instrs.total").add(n);
+    }
+
+    EmitMeter(const EmitMeter&) = delete;
+    EmitMeter& operator=(const EmitMeter&) = delete;
+
+  private:
+    static int& depth()
+    {
+        thread_local int d = 0;
+        return d;
+    }
+
+    const Trace &t_;
+    BasicOp tag_;
+    std::size_t before_;
+};
+
 } // namespace
 
 void
 emit_hadd(Trace &t, const OpShape &s, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     t.emit(OpKind::HBM_RD, 2 * ct_words(s), s.n, tag); // two ciphertexts
     t.emit(OpKind::MA, 2 * s.limbs * s.n, s.n, tag);
     t.emit(OpKind::HBM_WR, ct_words(s), s.n, tag);
@@ -28,6 +70,7 @@ emit_hadd(Trace &t, const OpShape &s, BasicOp tag)
 void
 emit_pmult(Trace &t, const OpShape &s, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     // Ciphertext (2 polys) + plaintext (1 poly) in; MM on both halves.
     t.emit(OpKind::HBM_RD, 3 * s.limbs * s.n, s.n, tag);
     t.emit(OpKind::MM, 2 * s.limbs * s.n, s.n, tag);
@@ -38,6 +81,7 @@ emit_pmult(Trace &t, const OpShape &s, BasicOp tag)
 void
 emit_keyswitch(Trace &t, const OpShape &s, bool standalone, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     u64 D = s.digits();
     u64 ext = s.ext_limbs();
     u64 alpha = (s.limbs + D - 1) / D; // primes per digit
@@ -82,6 +126,7 @@ emit_keyswitch(Trace &t, const OpShape &s, bool standalone, BasicOp tag)
 void
 emit_cmult(Trace &t, const OpShape &s, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     t.emit(OpKind::HBM_RD, 2 * ct_words(s), s.n, tag);
     // Tensor product: d0, d2, and the two cross terms of d1.
     t.emit(OpKind::MM, 4 * s.limbs * s.n, s.n, tag);
@@ -96,6 +141,7 @@ emit_cmult(Trace &t, const OpShape &s, BasicOp tag)
 void
 emit_rescale(Trace &t, const OpShape &s, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     POSEIDON_REQUIRE(s.limbs >= 2, "emit_rescale: nothing to drop");
     u64 rem = s.limbs - 1;
     t.emit(OpKind::HBM_RD, ct_words(s), s.n, tag);
@@ -112,6 +158,7 @@ emit_rescale(Trace &t, const OpShape &s, BasicOp tag)
 void
 emit_ntt_op(Trace &t, const OpShape &s, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     t.emit(OpKind::HBM_RD, s.limbs * s.n, s.n, tag);
     t.emit(OpKind::NTT, s.limbs * s.n, s.n, tag);
     t.emit(OpKind::SBT, s.limbs * s.n, s.n, tag);
@@ -121,6 +168,7 @@ emit_ntt_op(Trace &t, const OpShape &s, BasicOp tag)
 void
 emit_modup(Trace &t, const OpShape &s, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     u64 D = s.digits();
     u64 ext = s.ext_limbs();
     u64 alpha = (s.limbs + D - 1) / D;
@@ -136,6 +184,7 @@ emit_modup(Trace &t, const OpShape &s, BasicOp tag)
 void
 emit_moddown(Trace &t, const OpShape &s, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     u64 ext = s.ext_limbs();
     t.emit(OpKind::HBM_RD, ext * s.n, s.n, tag);
     t.emit(OpKind::INTT, ext * s.n, s.n, tag);
@@ -150,6 +199,7 @@ emit_moddown(Trace &t, const OpShape &s, BasicOp tag)
 void
 emit_rotation(Trace &t, const OpShape &s, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     t.emit(OpKind::HBM_RD, ct_words(s), s.n, tag);
     // Index mapping on both components (HFAuto), then keyswitch of the
     // permuted c1 and the final addition into c0.
@@ -163,6 +213,7 @@ emit_rotation(Trace &t, const OpShape &s, BasicOp tag)
 void
 emit_bootstrap(Trace &t, const BootstrapShape &bs, BasicOp tag)
 {
+    EmitMeter meter(t, tag);
     OpShape s = bs.base;
     u64 ns = bs.eff_slots();
 

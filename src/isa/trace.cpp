@@ -1,6 +1,6 @@
 #include "isa/trace.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/modmath.h"
 
 namespace poseidon::isa {

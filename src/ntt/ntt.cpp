@@ -1,6 +1,6 @@
 #include "ntt/ntt.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon {
 

@@ -1,6 +1,6 @@
 #include "poly/poly.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon {
 

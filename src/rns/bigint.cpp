@@ -3,7 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace poseidon {
 

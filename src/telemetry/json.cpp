@@ -1,0 +1,413 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace poseidon::telemetry {
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+bool
+Json::as_bool() const
+{
+    POSEIDON_REQUIRE(type_ == Type::Bool, "Json: not a bool");
+    return bool_;
+}
+
+double
+Json::as_number() const
+{
+    POSEIDON_REQUIRE(type_ == Type::Number, "Json: not a number");
+    return num_;
+}
+
+const std::string&
+Json::as_string() const
+{
+    POSEIDON_REQUIRE(type_ == Type::String, "Json: not a string");
+    return str_;
+}
+
+void
+Json::push_back(Json v)
+{
+    POSEIDON_REQUIRE(type_ == Type::Array || type_ == Type::Null,
+                     "Json: push_back on non-array");
+    type_ = Type::Array;
+    arr_.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array) return arr_.size();
+    if (type_ == Type::Object) return obj_.size();
+    return 0;
+}
+
+const Json&
+Json::at(std::size_t i) const
+{
+    POSEIDON_REQUIRE(type_ == Type::Array, "Json: not an array");
+    POSEIDON_REQUIRE(i < arr_.size(), "Json: index " << i
+                     << " out of range (size " << arr_.size() << ")");
+    return arr_[i];
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    POSEIDON_REQUIRE(type_ == Type::Object || type_ == Type::Null,
+                     "Json: set on non-object");
+    type_ = Type::Object;
+    for (auto &kv : obj_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    if (type_ != Type::Object) return false;
+    for (const auto &kv : obj_) {
+        if (kv.first == key) return true;
+    }
+    return false;
+}
+
+const Json&
+Json::at(const std::string &key) const
+{
+    POSEIDON_REQUIRE(type_ == Type::Object, "Json: not an object");
+    for (const auto &kv : obj_) {
+        if (kv.first == key) return kv.second;
+    }
+    POSEIDON_THROW(InvalidArgument, "Json: missing key '" << key << "'");
+}
+
+const std::vector<std::pair<std::string, Json>>&
+Json::items() const
+{
+    POSEIDON_REQUIRE(type_ == Type::Object, "Json: not an object");
+    return obj_;
+}
+
+namespace {
+
+void
+append_number(std::string &out, double d)
+{
+    if (std::isnan(d) || std::isinf(d)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    double rounded = std::nearbyint(d);
+    if (rounded == d && std::abs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", d);
+        out += buf;
+        return;
+    }
+    // %.17g round-trips every finite double through strtod.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+}
+
+void
+append_indent(std::string &out, int indent, int depth)
+{
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::dump_to(std::string &out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::Null: out += "null"; break;
+      case Type::Bool: out += bool_ ? "true" : "false"; break;
+      case Type::Number: append_number(out, num_); break;
+      case Type::String:
+        out += '"';
+        out += json_escape(str_);
+        out += '"';
+        break;
+      case Type::Array: {
+        if (arr_.empty()) { out += "[]"; break; }
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i) out += ',';
+            append_indent(out, indent, depth + 1);
+            arr_[i].dump_to(out, indent, depth + 1);
+        }
+        append_indent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        if (obj_.empty()) { out += "{}"; break; }
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i) out += ',';
+            append_indent(out, indent, depth + 1);
+            out += '"';
+            out += json_escape(obj_[i].first);
+            out += "\":";
+            if (indent >= 0) out += ' ';
+            obj_[i].second.dump_to(out, indent, depth + 1);
+        }
+        append_indent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string view.
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Json parse_document()
+    {
+        Json v = parse_value();
+        skip_ws();
+        POSEIDON_REQUIRE_T(ParseError, pos_ == s_.size(),
+                           "json: trailing garbage at offset " << pos_);
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what)
+    {
+        POSEIDON_THROW(ParseError,
+                       "json: " << what << " at offset " << pos_);
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= s_.size()) fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(const char *lit)
+    {
+        std::size_t n = std::char_traits<char>::length(lit);
+        if (s_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json parse_value()
+    {
+        skip_ws();
+        char c = peek();
+        switch (c) {
+          case '{': return parse_object();
+          case '[': return parse_array();
+          case '"': return Json(parse_string());
+          case 't':
+            if (consume_literal("true")) return Json(true);
+            fail("bad literal");
+          case 'f':
+            if (consume_literal("false")) return Json(false);
+            fail("bad literal");
+          case 'n':
+            if (consume_literal("null")) return Json(nullptr);
+            fail("bad literal");
+          default: return parse_number();
+        }
+    }
+
+    Json parse_object()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skip_ws();
+        if (peek() == '}') { ++pos_; return obj; }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj.set(key, parse_value());
+            skip_ws();
+            char c = peek();
+            if (c == ',') { ++pos_; continue; }
+            if (c == '}') { ++pos_; return obj; }
+            fail("expected ',' or '}'");
+        }
+    }
+
+    Json parse_array()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skip_ws();
+        if (peek() == ']') { ++pos_; return arr; }
+        while (true) {
+            arr.push_back(parse_value());
+            skip_ws();
+            char c = peek();
+            if (c == ',') { ++pos_; continue; }
+            if (c == ']') { ++pos_; return arr; }
+            fail("expected ',' or ']'");
+        }
+    }
+
+    std::string parse_string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+            }
+            if (c != '\\') { out += c; continue; }
+            if (pos_ >= s_.size()) fail("dangling escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size()) fail("short \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9') v |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f') v |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') v |= unsigned(h - 'A' + 10);
+                    else fail("bad \\u escape");
+                }
+                // Encode the code point as UTF-8 (surrogate pairs are
+                // passed through as two 3-byte sequences; telemetry
+                // strings never carry astral-plane text).
+                if (v < 0x80) {
+                    out += static_cast<char>(v);
+                } else if (v < 0x800) {
+                    out += static_cast<char>(0xC0 | (v >> 6));
+                    out += static_cast<char>(0x80 | (v & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (v >> 12));
+                    out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (v & 0x3F));
+                }
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    Json parse_number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected a value");
+        std::string tok = s_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) {
+            pos_ = start;
+            fail("malformed number");
+        }
+        return Json(d);
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).parse_document();
+}
+
+} // namespace poseidon::telemetry

@@ -1,0 +1,168 @@
+#ifndef POSEIDON_TELEMETRY_METRICS_H_
+#define POSEIDON_TELEMETRY_METRICS_H_
+
+/**
+ * @file
+ * Process-wide metrics: counters, gauges and fixed-bucket histograms,
+ * exportable as a Prometheus-style text page or a JSON object.
+ *
+ * Instruments register lazily by name (dotted, e.g.
+ * "sim.kind_cycles.MM") and live for the registry's lifetime, so call
+ * sites may cache the returned reference. All mutation paths are
+ * thread-safe: counters/gauges are single atomics, histogram buckets
+ * are per-bucket atomics. Counter values are doubles because the
+ * dominant sources (modeled cycles) are doubles; accumulation order
+ * is the call order, so a single recording reproduces its source
+ * value bit-exactly.
+ *
+ * Runtime switch: `telemetry::set_enabled(false)` makes every
+ * instrumentation helper below a no-op; nothing is ever exported
+ * unless a caller asks for a dump, so enabled telemetry changes no
+ * observable behavior either. Compiling with
+ * POSEIDON_TELEMETRY_DISABLED (cmake -DPOSEIDON_TELEMETRY=OFF) pins
+ * `enabled()` to a constant false so the instrumentation folds away.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace poseidon::telemetry {
+
+#ifdef POSEIDON_TELEMETRY_DISABLED
+constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#else
+/// Global runtime switch (default on).
+bool enabled();
+void set_enabled(bool on);
+#endif
+
+/// Monotonically increasing sum.
+class Counter
+{
+  public:
+    void add(double d) { v_.fetch_add(d, std::memory_order_relaxed); }
+    void increment() { add(1.0); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Last-written value.
+class Gauge
+{
+  public:
+    void set(double d) { v_.store(d, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// v <= bounds[i] (and > bounds[i-1]); one extra overflow bucket
+/// catches everything above the last bound.
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    /// Count in bucket i; i == bounds().size() is the overflow bucket.
+    std::uint64_t bucket_count(std::size_t i) const;
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// Latency bucket bounds in microseconds: 1us .. 10s, 1-2-5 series.
+const std::vector<double>& default_latency_bounds_us();
+
+/// Named metrics, lazily created, process-wide via global().
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry& global();
+
+    Counter& counter(const std::string &name);
+    Gauge& gauge(const std::string &name);
+    /// First call fixes the bounds; later calls ignore `bounds`.
+    Histogram& histogram(
+        const std::string &name,
+        const std::vector<double> &bounds = default_latency_bounds_us());
+
+    /// Counter value, 0.0 when the counter was never touched (does
+    /// not create it — safe for tests and dumps).
+    double counter_value(const std::string &name) const;
+
+    /// Drop every metric (tests; long-lived servers between scrapes
+    /// should not call this).
+    void reset();
+
+    /// Prometheus text exposition (names sanitized, "poseidon_"-
+    /// prefixed; histograms expand to _bucket/_sum/_count series).
+    std::string prometheus_text() const;
+
+    /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+    Json to_json() const;
+
+  private:
+    mutable std::mutex mu_; // guards the maps, not the metric values
+    std::vector<std::pair<std::string, std::unique_ptr<Counter>>>
+        counters_;
+    std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+    std::vector<std::pair<std::string, std::unique_ptr<Histogram>>>
+        histograms_;
+};
+
+/// Increment `name` in the global registry when telemetry is enabled.
+inline void
+count(const std::string &name, double d = 1.0)
+{
+    if (enabled()) MetricsRegistry::global().counter(name).add(d);
+}
+
+/// Set gauge `name` in the global registry when telemetry is enabled.
+inline void
+gauge_set(const std::string &name, double v)
+{
+    if (enabled()) MetricsRegistry::global().gauge(name).set(v);
+}
+
+/// Observes wall time (microseconds) into a global-registry histogram
+/// on destruction. Construction is near-free when telemetry is off.
+class ScopedLatency
+{
+  public:
+    explicit ScopedLatency(const char *histName);
+    ~ScopedLatency();
+
+    ScopedLatency(const ScopedLatency&) = delete;
+    ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+  private:
+    const char *name_;
+    bool live_;
+    std::uint64_t startNs_ = 0;
+};
+
+} // namespace poseidon::telemetry
+
+#endif // POSEIDON_TELEMETRY_METRICS_H_

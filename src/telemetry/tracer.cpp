@@ -1,0 +1,173 @@
+#include "telemetry/tracer.h"
+
+#include <fstream>
+
+namespace poseidon::telemetry {
+
+Tracer&
+Tracer::global()
+{
+    static Tracer *tr = new Tracer();
+    return *tr;
+}
+
+void
+Tracer::start()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.clear();
+    processNames_.clear();
+    threadNames_.clear();
+    t0_ = std::chrono::steady_clock::now();
+    active_.store(true, std::memory_order_release);
+}
+
+void
+Tracer::stop()
+{
+    active_.store(false, std::memory_order_release);
+}
+
+double
+Tracer::now_us() const
+{
+    if (!active()) return 0.0;
+    auto dt = std::chrono::steady_clock::now() - t0_;
+    return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+int
+Tracer::thread_tid()
+{
+    static std::atomic<int> next{1};
+    thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void
+Tracer::complete_event(TraceEvent ev)
+{
+    if (!active()) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(std::move(ev));
+}
+
+void
+Tracer::set_process_name(int pid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &kv : processNames_) {
+        if (kv.first == pid) {
+            kv.second = name;
+            return;
+        }
+    }
+    processNames_.emplace_back(pid, name);
+}
+
+void
+Tracer::set_thread_name(int pid, int tid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto key = std::make_pair(pid, tid);
+    for (auto &kv : threadNames_) {
+        if (kv.first == key) {
+            kv.second = name;
+            return;
+        }
+    }
+    threadNames_.emplace_back(key, name);
+}
+
+std::size_t
+Tracer::event_count() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+}
+
+std::string
+Tracer::chrome_trace_json() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Json events = Json::array();
+    for (const auto &kv : processNames_) {
+        Json m = Json::object();
+        m.set("ph", Json("M"));
+        m.set("name", Json("process_name"));
+        m.set("pid", Json(kv.first));
+        Json args = Json::object();
+        args.set("name", Json(kv.second));
+        m.set("args", std::move(args));
+        events.push_back(std::move(m));
+    }
+    for (const auto &kv : threadNames_) {
+        Json m = Json::object();
+        m.set("ph", Json("M"));
+        m.set("name", Json("thread_name"));
+        m.set("pid", Json(kv.first.first));
+        m.set("tid", Json(kv.first.second));
+        Json args = Json::object();
+        args.set("name", Json(kv.second));
+        m.set("args", std::move(args));
+        events.push_back(std::move(m));
+    }
+    for (const TraceEvent &ev : events_) {
+        Json e = Json::object();
+        e.set("name", Json(ev.name));
+        e.set("ph", Json("X"));
+        e.set("pid", Json(ev.pid));
+        e.set("tid", Json(ev.tid));
+        e.set("ts", Json(ev.tsUs));
+        e.set("dur", Json(ev.durUs));
+        if (!ev.args.empty()) {
+            Json args = Json::object();
+            for (const auto &a : ev.args) args.set(a.first, a.second);
+            e.set("args", std::move(args));
+        }
+        events.push_back(std::move(e));
+    }
+    Json root = Json::object();
+    root.set("traceEvents", std::move(events));
+    root.set("displayTimeUnit", Json("ms"));
+    return root.dump();
+}
+
+bool
+Tracer::write_chrome_trace(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << chrome_trace_json() << "\n";
+    return static_cast<bool>(out);
+}
+
+SpanScope::SpanScope(const char *name)
+    : live_(enabled() && Tracer::global().active()), name_(name)
+{
+    if (live_) startUs_ = Tracer::global().now_us();
+}
+
+SpanScope::~SpanScope()
+{
+    if (!live_) return;
+    Tracer &tr = Tracer::global();
+    if (!tr.active()) return; // session ended mid-span
+    TraceEvent ev;
+    ev.name = name_;
+    ev.pid = Tracer::kHostPid;
+    ev.tid = Tracer::thread_tid();
+    ev.tsUs = startUs_;
+    ev.durUs = tr.now_us() - startUs_;
+    ev.args = std::move(args_);
+    tr.complete_event(std::move(ev));
+}
+
+void
+SpanScope::attr(const std::string &key, Json value)
+{
+    if (!live_) return;
+    args_.emplace_back(key, std::move(value));
+}
+
+} // namespace poseidon::telemetry

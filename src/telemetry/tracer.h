@@ -1,0 +1,135 @@
+#ifndef POSEIDON_TELEMETRY_TRACER_H_
+#define POSEIDON_TELEMETRY_TRACER_H_
+
+/**
+ * @file
+ * Span tracing with Chrome trace-event export (load the file at
+ * https://ui.perfetto.dev or chrome://tracing).
+ *
+ * Two kinds of timeline coexist in one file:
+ *  - host wall-time spans (POSEIDON_SPAN), one Perfetto "thread" per
+ *    real thread under process kHostPid; nesting comes for free from
+ *    complete-event ("ph":"X") timestamps;
+ *  - synthesized tracks (hw::append_sim_track) under other process
+ *    ids, whose timestamps are *modeled accelerator cycles* converted
+ *    to microseconds — the paper's cycle accounting drawn next to the
+ *    wall clock.
+ *
+ * Spans are recorded only while a session is active (between start()
+ * and stop()) and telemetry is enabled; an inactive tracer costs one
+ * predictable branch per span. Attribute values ride in the event's
+ * "args" and survive JSON escaping round trips.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace poseidon::telemetry {
+
+/// One Chrome "complete" event ("ph":"X").
+struct TraceEvent
+{
+    std::string name;
+    int pid = 0;
+    int tid = 0;
+    double tsUs = 0.0;  ///< start, microseconds since session start
+    double durUs = 0.0; ///< duration, microseconds
+    std::vector<std::pair<std::string, Json>> args;
+};
+
+/// Collects events for one capture session.
+class Tracer
+{
+  public:
+    /// Process id of host wall-time spans.
+    static constexpr int kHostPid = 1;
+    /// Process id of the synthesized simulated-cycle tracks.
+    static constexpr int kSimPid = 2;
+
+    static Tracer& global();
+
+    /// Begin a session: clears prior events, zeroes the clock.
+    void start();
+    /// End the session; events stay buffered for export.
+    void stop();
+    bool active() const
+    {
+        return active_.load(std::memory_order_acquire);
+    }
+
+    /// Microseconds since start() (0 when no session ran).
+    double now_us() const;
+
+    /// Stable small id for the calling thread (Perfetto tid).
+    static int thread_tid();
+
+    /// Record one complete event (dropped when no session is active).
+    void complete_event(TraceEvent ev);
+
+    /// Name a Perfetto process / thread track (metadata events).
+    void set_process_name(int pid, const std::string &name);
+    void set_thread_name(int pid, int tid, const std::string &name);
+
+    std::size_t event_count() const;
+
+    /// Serialize everything recorded so far as Chrome trace JSON.
+    std::string chrome_trace_json() const;
+
+    /// Write chrome_trace_json() to `path`; false on I/O failure.
+    bool write_chrome_trace(const std::string &path) const;
+
+  private:
+    std::atomic<bool> active_{false};
+    std::chrono::steady_clock::time_point t0_;
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+    std::vector<std::pair<int, std::string>> processNames_;
+    std::vector<std::pair<std::pair<int, int>, std::string>> threadNames_;
+};
+
+/// RAII span on the host track of the global tracer. Prefer the
+/// POSEIDON_SPAN macro; instantiate directly when attributes are
+/// attached (`span.attr("limbs", 45)`).
+class SpanScope
+{
+  public:
+    explicit SpanScope(const char *name);
+    ~SpanScope();
+
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+
+    /// Attach a key/value attribute (shown in the Perfetto side panel).
+    void attr(const std::string &key, Json value);
+
+  private:
+    bool live_;
+    double startUs_ = 0.0;
+    const char *name_;
+    std::vector<std::pair<std::string, Json>> args_;
+};
+
+#define POSEIDON_TELEMETRY_CONCAT_(a, b) a##b
+#define POSEIDON_TELEMETRY_CONCAT(a, b) POSEIDON_TELEMETRY_CONCAT_(a, b)
+
+#ifdef POSEIDON_TELEMETRY_DISABLED
+#define POSEIDON_SPAN(name)                                                \
+    do {                                                                   \
+    } while (0)
+#else
+/// Scoped span covering the rest of the enclosing block.
+#define POSEIDON_SPAN(name)                                                \
+    ::poseidon::telemetry::SpanScope POSEIDON_TELEMETRY_CONCAT(            \
+        poseidon_span_, __LINE__)(name)
+#endif
+
+} // namespace poseidon::telemetry
+
+#endif // POSEIDON_TELEMETRY_TRACER_H_

@@ -9,6 +9,7 @@
 #include "hw/faults.h"
 #include "hw/sim.h"
 #include "isa/compiler.h"
+#include "telemetry/metrics.h"
 
 namespace poseidon::hw {
 namespace {
@@ -148,6 +149,49 @@ TEST(Faults, SimReportsFaultsAndChargesRetries)
     // Traffic accounting is unchanged by injected faults.
     EXPECT_EQ(r.bytesRead, clean.bytesRead);
     EXPECT_EQ(r.bytesWritten, clean.bytesWritten);
+}
+
+TEST(Faults, TelemetryCountersMatchFaultStatsExactly)
+{
+    if (!telemetry::enabled()) {
+        GTEST_SKIP() << "telemetry compiled out";
+    }
+    isa::Trace tr = sample_trace();
+    telemetry::MetricsRegistry &reg =
+        telemetry::MetricsRegistry::global();
+
+    HwConfig cfg = HwConfig::poseidon_u280();
+    cfg.faults.ber = 5e-4;
+    cfg.faults.seed = 3;
+    reg.reset();
+    SimResult r = PoseidonSim(cfg).run(tr);
+
+    // One run, one add per counter: the registry must agree with the
+    // returned FaultStats to the last word/flip/cycle.
+    EXPECT_EQ(reg.counter_value("sim.faults.words_transferred"),
+              static_cast<double>(r.faults.wordsTransferred));
+    EXPECT_EQ(reg.counter_value("sim.faults.bit_flips"),
+              static_cast<double>(r.faults.bitFlips));
+    EXPECT_EQ(reg.counter_value("sim.faults.corrected"),
+              static_cast<double>(r.faults.corrected));
+    EXPECT_EQ(reg.counter_value("sim.faults.detected"),
+              static_cast<double>(r.faults.detected));
+    EXPECT_EQ(reg.counter_value("sim.faults.silent"),
+              static_cast<double>(r.faults.silent));
+    EXPECT_EQ(reg.counter_value("sim.faults.retry_cycles"),
+              r.faults.retryCycles);
+
+    // BER = 0 must leave every fault counter at zero and charge no
+    // retry cycles into the timing counters.
+    reg.reset();
+    SimResult z = PoseidonSim().run(tr);
+    EXPECT_EQ(reg.counter_value("sim.faults.bit_flips"), 0.0);
+    EXPECT_EQ(reg.counter_value("sim.faults.corrected"), 0.0);
+    EXPECT_EQ(reg.counter_value("sim.faults.detected"), 0.0);
+    EXPECT_EQ(reg.counter_value("sim.faults.silent"), 0.0);
+    EXPECT_EQ(reg.counter_value("sim.faults.retry_cycles"), 0.0);
+    EXPECT_EQ(reg.counter_value("sim.cycles"), z.cycles);
+    reg.reset();
 }
 
 TEST(Faults, CorruptFlipsRealBits)

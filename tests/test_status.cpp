@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/status.h"
 
 namespace poseidon {
