@@ -6,10 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_harness.h"
+#include "common/parallel.h"
 #include "common/prng.h"
 #include "ntt/fusion.h"
 #include "poly/automorphism.h"
 #include "poly/hfauto.h"
+#include "poly/poly.h"
 #include "rns/conv.h"
 #include "rns/primes.h"
 
@@ -152,6 +154,31 @@ BM_RnsConv(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n * limbs);
 }
 BENCHMARK(BM_RnsConv)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_NttBatchParallel(benchmark::State &state)
+{
+    std::size_t n = 1 << 14;
+    std::size_t limbs = 12;
+    std::size_t threads = static_cast<std::size_t>(state.range(0));
+    auto primes = generate_ntt_primes(n, 45, limbs);
+    auto ring = std::make_shared<const RingContext>(n, primes);
+    Sampler sampler(9);
+    std::vector<i64> coeffs = sampler.gaussian(n, 1000.0);
+    RnsPoly poly = RnsPoly::ct(ring, limbs, Domain::Coeff);
+    poly.assign_signed(coeffs);
+
+    parallel::set_num_threads(threads);
+    for (auto _ : state) {
+        RnsPoly p = poly;
+        p.to_eval();
+        benchmark::DoNotOptimize(p.limb(0));
+    }
+    parallel::set_num_threads(0);
+    state.SetItemsProcessed(state.iterations() * n * limbs);
+}
+BENCHMARK(BM_NttBatchParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 /// Console output as usual, plus every timing into the bench harness
 /// (metric `<benchmark>.ns_per_iter`) so the run lands in

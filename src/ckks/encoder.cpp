@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace poseidon {
 
@@ -170,17 +171,24 @@ CkksEncoder::decode(const Plaintext &pt) const
     std::size_t limbs = poly.num_limbs();
     const RnsBasis &basis = ctx_->ring()->ct_basis(limbs);
 
-    std::vector<u64> res(limbs);
+    // Each slot composes its residues independently; the residue
+    // gather buffer is chunk-local.
     std::vector<cdouble> vals(slots_);
-    for (std::size_t j = 0; j < slots_; ++j) {
-        for (std::size_t k = 0; k < limbs; ++k) res[k] = poly.limb(k)[j];
-        double re = basis.compose_centered_double(res.data());
-        for (std::size_t k = 0; k < limbs; ++k) {
-            res[k] = poly.limb(k)[j + slots_];
-        }
-        double im = basis.compose_centered_double(res.data());
-        vals[j] = cdouble(re / pt.scale, im / pt.scale);
-    }
+    parallel::parallel_for(0, slots_, 1024,
+        [&](std::size_t j0, std::size_t j1) {
+            std::vector<u64> res(limbs);
+            for (std::size_t j = j0; j < j1; ++j) {
+                for (std::size_t k = 0; k < limbs; ++k) {
+                    res[k] = poly.limb(k)[j];
+                }
+                double re = basis.compose_centered_double(res.data());
+                for (std::size_t k = 0; k < limbs; ++k) {
+                    res[k] = poly.limb(k)[j + slots_];
+                }
+                double im = basis.compose_centered_double(res.data());
+                vals[j] = cdouble(re / pt.scale, im / pt.scale);
+            }
+        }, "ckks.decode");
     fft_special(vals);
     return vals;
 }

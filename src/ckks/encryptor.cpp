@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace poseidon {
 
@@ -62,23 +63,29 @@ CkksEncryptor::encrypt(const Plaintext &pt)
     Ciphertext ct;
     ct.c0 = RnsPoly::ct(ring, limbs, Domain::Eval);
     ct.c1 = RnsPoly::ct(ring, limbs, Domain::Eval);
-    for (std::size_t k = 0; k < limbs; ++k) {
-        const Barrett64 &br = ring->barrett(k);
-        u64 q = ring->prime(k);
-        const u64 *bv = pk_.b.limb(k);
-        const u64 *av = pk_.a.limb(k);
-        const u64 *uv = u.limb(k);
-        const u64 *m = pt.poly.limb(k);
-        u64 *c0 = ct.c0.limb(k);
-        u64 *c1 = ct.c1.limb(k);
-        const u64 *ev0 = e0.limb(k);
-        const u64 *ev1 = e1.limb(k);
-        for (std::size_t t = 0; t < n; ++t) {
-            c0[t] = add_mod(add_mod(br.mul(bv[t], uv[t]), ev0[t], q),
-                            m[t], q);
-            c1[t] = add_mod(br.mul(av[t], uv[t]), ev1[t], q);
-        }
-    }
+    // Sampling above is done (PRNG stays thread-confined); combining
+    // the sampled polys with the public key is pure per-limb work.
+    parallel::parallel_for(0, limbs, 1,
+        [&](std::size_t kk0, std::size_t kk1) {
+            for (std::size_t k = kk0; k < kk1; ++k) {
+                const Barrett64 &br = ring->barrett(k);
+                u64 q = ring->prime(k);
+                const u64 *bv = pk_.b.limb(k);
+                const u64 *av = pk_.a.limb(k);
+                const u64 *uv = u.limb(k);
+                const u64 *m = pt.poly.limb(k);
+                u64 *c0 = ct.c0.limb(k);
+                u64 *c1 = ct.c1.limb(k);
+                const u64 *ev0 = e0.limb(k);
+                const u64 *ev1 = e1.limb(k);
+                for (std::size_t t = 0; t < n; ++t) {
+                    c0[t] = add_mod(add_mod(br.mul(bv[t], uv[t]),
+                                            ev0[t], q),
+                                    m[t], q);
+                    c1[t] = add_mod(br.mul(av[t], uv[t]), ev1[t], q);
+                }
+            }
+        }, "ckks.encrypt");
     ct.scale = pt.scale;
     return ct;
 }
@@ -109,6 +116,9 @@ CkksEncryptor::encrypt_symmetric(const Plaintext &pt, const SecretKey &sk)
     Ciphertext ct;
     ct.c0 = RnsPoly::ct(ring, limbs, Domain::Eval);
     ct.c1 = RnsPoly::ct(ring, limbs, Domain::Eval);
+    // Serial on purpose: c1 is drawn from the sampler's PRNG
+    // per-element inside the loop, and the PRNG stream (and the
+    // ciphertext derived from it) must not depend on the thread count.
     for (std::size_t k = 0; k < limbs; ++k) {
         u64 q = ring->prime(k);
         const Barrett64 &br = ring->barrett(k);
@@ -159,17 +169,20 @@ CkksDecryptor::decrypt(const Ciphertext &ct) const
 
     Plaintext pt;
     pt.poly = RnsPoly::ct(ring, limbs, Domain::Eval);
-    for (std::size_t k = 0; k < limbs; ++k) {
-        const Barrett64 &br = ring->barrett(k);
-        u64 q = ring->prime(k);
-        const u64 *c0 = ct.c0.limb(k);
-        const u64 *c1 = ct.c1.limb(k);
-        const u64 *sv = sk_.s.limb(k); // identity prime mapping
-        u64 *m = pt.poly.limb(k);
-        for (std::size_t t = 0; t < n; ++t) {
-            m[t] = add_mod(c0[t], br.mul(c1[t], sv[t]), q);
-        }
-    }
+    parallel::parallel_for(0, limbs, 1,
+        [&](std::size_t kk0, std::size_t kk1) {
+            for (std::size_t k = kk0; k < kk1; ++k) {
+                const Barrett64 &br = ring->barrett(k);
+                u64 q = ring->prime(k);
+                const u64 *c0 = ct.c0.limb(k);
+                const u64 *c1 = ct.c1.limb(k);
+                const u64 *sv = sk_.s.limb(k); // identity prime mapping
+                u64 *m = pt.poly.limb(k);
+                for (std::size_t t = 0; t < n; ++t) {
+                    m[t] = add_mod(c0[t], br.mul(c1[t], sv[t]), q);
+                }
+            }
+        }, "ckks.decrypt");
     pt.scale = ct.scale;
     return pt;
 }

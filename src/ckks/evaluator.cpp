@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "poly/automorphism.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
@@ -199,16 +200,20 @@ CkksEvaluator::mul(const Ciphertext &a, const Ciphertext &b,
     d2.mul_inplace(b.c1);
 
     RnsPoly d1 = RnsPoly::ct(ring, limbs, Domain::Eval);
-    for (std::size_t k = 0; k < limbs; ++k) {
-        const Barrett64 &br = ring->barrett(k);
-        u64 q = ring->prime(k);
-        const u64 *a0 = a.c0.limb(k), *a1 = a.c1.limb(k);
-        const u64 *b0 = b.c0.limb(k), *b1 = b.c1.limb(k);
-        u64 *d = d1.limb(k);
-        for (std::size_t t = 0; t < n; ++t) {
-            d[t] = add_mod(br.mul(a0[t], b1[t]), br.mul(a1[t], b0[t]), q);
-        }
-    }
+    parallel::parallel_for(0, limbs, 1,
+        [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                const Barrett64 &br = ring->barrett(k);
+                u64 q = ring->prime(k);
+                const u64 *a0 = a.c0.limb(k), *a1 = a.c1.limb(k);
+                const u64 *b0 = b.c0.limb(k), *b1 = b.c1.limb(k);
+                u64 *d = d1.limb(k);
+                for (std::size_t t = 0; t < n; ++t) {
+                    d[t] = add_mod(br.mul(a0[t], b1[t]),
+                                   br.mul(a1[t], b0[t]), q);
+                }
+            }
+        }, "ckks.tensor");
 
     // Relinearize d2 back onto (c0, c1).
     auto [u0, u1] = keyswitch_core(d2, relinKey);
@@ -279,25 +284,31 @@ CkksEvaluator::decompose_digits_eval(
         }
 
         out[j].resize(extIdx.size());
-        for (std::size_t m = 0; m < extIdx.size(); ++m) {
-            std::size_t pidx = extIdx[m];
-            u64 qm = ring->prime(pidx);
-            const Barrett64 &brm = ring->barrett(pidx);
-            std::vector<u64> &buf = out[j][m];
-            buf.resize(n);
-            if (len > 1) {
-                std::copy(convOut[pidx].begin(), convOut[pidx].end(),
-                          buf.begin());
-            } else if (pidx == start) {
-                std::copy(digit, digit + n, buf.begin());
-            } else {
-                for (std::size_t t = 0; t < n; ++t) {
-                    buf[t] = digit[t] < qm ? digit[t]
-                                           : brm.reduce(digit[t]);
+        // Each target prime m gets an independent buffer: reduce (or
+        // copy) the digit into it, then NTT it. convOut/digit are
+        // read-only here, so the m loop parallelizes cleanly.
+        parallel::parallel_for(0, extIdx.size(), 1,
+            [&](std::size_t m0, std::size_t m1) {
+                for (std::size_t m = m0; m < m1; ++m) {
+                    std::size_t pidx = extIdx[m];
+                    u64 qm = ring->prime(pidx);
+                    const Barrett64 &brm = ring->barrett(pidx);
+                    std::vector<u64> &buf = out[j][m];
+                    buf.resize(n);
+                    if (len > 1) {
+                        std::copy(convOut[pidx].begin(),
+                                  convOut[pidx].end(), buf.begin());
+                    } else if (pidx == start) {
+                        std::copy(digit, digit + n, buf.begin());
+                    } else {
+                        for (std::size_t t = 0; t < n; ++t) {
+                            buf[t] = digit[t] < qm ? digit[t]
+                                                   : brm.reduce(digit[t]);
+                        }
+                    }
+                    ring->table(pidx).forward(buf.data());
                 }
-            }
-            ring->table(pidx).forward(buf.data());
-        }
+            }, "ckks.decompose");
     }
     return out;
 }
@@ -355,25 +366,33 @@ CkksEvaluator::keyswitch_core(const RnsPoly &d, const KSwitchKey &key) const
     dc.to_coeff();
     auto digits = decompose_digits_eval(dc, extIdx);
 
+    // Accumulate digit-by-key products. The loop nest is m-outer /
+    // j-inner so each extended limb m is owned by exactly one chunk;
+    // within a limb the digits still accumulate in ascending-j order,
+    // so the sum is bit-identical to the serial nest at any thread
+    // count.
     RnsPoly acc0(ring, extIdx, Domain::Eval);
     RnsPoly acc1(ring, extIdx, Domain::Eval);
-    for (std::size_t j = 0; j < numDigits; ++j) {
-        const KSwitchKey::Piece &piece = key.pieces[j];
-        for (std::size_t m = 0; m < extIdx.size(); ++m) {
-            std::size_t pidx = extIdx[m];
-            u64 qm = ring->prime(pidx);
-            const Barrett64 &brm = ring->barrett(pidx);
-            const u64 *dg = digits[j][m].data();
-            const u64 *kb = piece.b.limb(pidx);
-            const u64 *ka = piece.a.limb(pidx);
-            u64 *o0 = acc0.limb(m);
-            u64 *o1 = acc1.limb(m);
-            for (std::size_t t = 0; t < n; ++t) {
-                o0[t] = add_mod(o0[t], brm.mul(dg[t], kb[t]), qm);
-                o1[t] = add_mod(o1[t], brm.mul(dg[t], ka[t]), qm);
+    parallel::parallel_for(0, extIdx.size(), 1,
+        [&](std::size_t m0, std::size_t m1) {
+            for (std::size_t m = m0; m < m1; ++m) {
+                std::size_t pidx = extIdx[m];
+                u64 qm = ring->prime(pidx);
+                const Barrett64 &brm = ring->barrett(pidx);
+                u64 *o0 = acc0.limb(m);
+                u64 *o1 = acc1.limb(m);
+                for (std::size_t j = 0; j < numDigits; ++j) {
+                    const KSwitchKey::Piece &piece = key.pieces[j];
+                    const u64 *dg = digits[j][m].data();
+                    const u64 *kb = piece.b.limb(pidx);
+                    const u64 *ka = piece.a.limb(pidx);
+                    for (std::size_t t = 0; t < n; ++t) {
+                        o0[t] = add_mod(o0[t], brm.mul(dg[t], kb[t]), qm);
+                        o1[t] = add_mod(o1[t], brm.mul(dg[t], ka[t]), qm);
+                    }
+                }
             }
-        }
-    }
+        }, "ckks.keyswitch_acc");
     return mod_down_pair(std::move(acc0), std::move(acc1), limbs);
 }
 void
@@ -390,23 +409,28 @@ CkksEvaluator::rescale_poly(RnsPoly &p) const
     ring->table(p.prime_index(last)).inverse(cl.data());
     for (auto &v : cl) v = add_mod(v, qlHalf, ql);
 
-    std::vector<u64> buf(n);
-    for (std::size_t j = 0; j < last; ++j) {
-        u64 qj = p.prime(j);
-        const Barrett64 &br = ring->barrett(p.prime_index(j));
-        u64 halfModQj = qlHalf % qj;
-        for (std::size_t t = 0; t < n; ++t) {
-            u64 r = cl[t] < qj ? cl[t] : br.reduce(cl[t]);
-            buf[t] = sub_mod(r, halfModQj, qj);
-        }
-        ring->table(p.prime_index(j)).forward(buf.data());
-        u64 qlInv = inv_mod(ql % qj, qj);
-        ShoupMul mulInv(qlInv, qj);
-        u64 *limb = p.limb(j);
-        for (std::size_t t = 0; t < n; ++t) {
-            limb[t] = mulInv.mul(sub_mod(limb[t], buf[t], qj));
-        }
-    }
+    // Each remaining limb folds the dropped limb in independently; the
+    // NTT scratch is chunk-local and cl is read-only shared.
+    parallel::parallel_for(0, last, 1,
+        [&](std::size_t j0, std::size_t j1) {
+            std::vector<u64> buf(n);
+            for (std::size_t j = j0; j < j1; ++j) {
+                u64 qj = p.prime(j);
+                const Barrett64 &br = ring->barrett(p.prime_index(j));
+                u64 halfModQj = qlHalf % qj;
+                for (std::size_t t = 0; t < n; ++t) {
+                    u64 r = cl[t] < qj ? cl[t] : br.reduce(cl[t]);
+                    buf[t] = sub_mod(r, halfModQj, qj);
+                }
+                ring->table(p.prime_index(j)).forward(buf.data());
+                u64 qlInv = inv_mod(ql % qj, qj);
+                ShoupMul mulInv(qlInv, qj);
+                u64 *limb = p.limb(j);
+                for (std::size_t t = 0; t < n; ++t) {
+                    limb[t] = mulInv.mul(sub_mod(limb[t], buf[t], qj));
+                }
+            }
+        }, "ckks.rescale");
     p.drop_last_limb();
 }
 
@@ -529,7 +553,6 @@ CkksEvaluator::rotate_hoisted(const Ciphertext &a,
 
     std::vector<Ciphertext> out;
     out.reserve(steps.size());
-    std::vector<u64> tmp(n);
     for (long step : steps) {
         u64 g = galois_element_for_step(n, step);
         if (g == 1) {
@@ -543,26 +566,35 @@ CkksEvaluator::rotate_hoisted(const Ciphertext &a,
                            << numDigits);
         std::vector<u32> perm = make_eval_permutation(n, g);
 
+        // Same m-outer / j-inner nest as keyswitch_core (ascending-j
+        // accumulation per limb keeps results bit-identical); the
+        // permuted-digit scratch is chunk-local.
         RnsPoly acc0(ring, extIdx, Domain::Eval);
         RnsPoly acc1(ring, extIdx, Domain::Eval);
-        for (std::size_t j = 0; j < numDigits; ++j) {
-            const KSwitchKey::Piece &piece = key.pieces[j];
-            for (std::size_t m = 0; m < extIdx.size(); ++m) {
-                std::size_t pidx = extIdx[m];
-                u64 qm = ring->prime(pidx);
-                const Barrett64 &brm = ring->barrett(pidx);
-                automorphism_eval_limb(digits[j][m].data(), tmp.data(),
-                                       n, perm);
-                const u64 *kb = piece.b.limb(pidx);
-                const u64 *ka = piece.a.limb(pidx);
-                u64 *o0 = acc0.limb(m);
-                u64 *o1 = acc1.limb(m);
-                for (std::size_t t = 0; t < n; ++t) {
-                    o0[t] = add_mod(o0[t], brm.mul(tmp[t], kb[t]), qm);
-                    o1[t] = add_mod(o1[t], brm.mul(tmp[t], ka[t]), qm);
+        parallel::parallel_for(0, extIdx.size(), 1,
+            [&](std::size_t m0, std::size_t m1) {
+                std::vector<u64> tmp(n);
+                for (std::size_t m = m0; m < m1; ++m) {
+                    std::size_t pidx = extIdx[m];
+                    u64 qm = ring->prime(pidx);
+                    const Barrett64 &brm = ring->barrett(pidx);
+                    u64 *o0 = acc0.limb(m);
+                    u64 *o1 = acc1.limb(m);
+                    for (std::size_t j = 0; j < numDigits; ++j) {
+                        const KSwitchKey::Piece &piece = key.pieces[j];
+                        automorphism_eval_limb(digits[j][m].data(),
+                                               tmp.data(), n, perm);
+                        const u64 *kb = piece.b.limb(pidx);
+                        const u64 *ka = piece.a.limb(pidx);
+                        for (std::size_t t = 0; t < n; ++t) {
+                            o0[t] = add_mod(o0[t],
+                                            brm.mul(tmp[t], kb[t]), qm);
+                            o1[t] = add_mod(o1[t],
+                                            brm.mul(tmp[t], ka[t]), qm);
+                        }
+                    }
                 }
-            }
-        }
+            }, "ckks.rotate_acc");
         auto [u0, u1] =
             mod_down_pair(std::move(acc0), std::move(acc1), limbs);
 

@@ -1,0 +1,35 @@
+#include "common/metric_sink.h"
+
+#include <atomic>
+
+namespace poseidon {
+
+namespace {
+
+const MetricSink kNullSink{};
+
+std::atomic<const MetricSink*> gSink{&kNullSink};
+
+} // namespace
+
+void
+install_metric_sink(const MetricSink &sink)
+{
+    // Leaked on purpose: emitters may hold the pointer across the
+    // whole process lifetime, including static destruction.
+    const MetricSink *expected = &kNullSink;
+    auto *copy = new MetricSink(sink);
+    if (!gSink.compare_exchange_strong(expected, copy,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+        delete copy; // somebody else won the race; keep theirs
+    }
+}
+
+const MetricSink&
+metric_sink()
+{
+    return *gSink.load(std::memory_order_acquire);
+}
+
+} // namespace poseidon

@@ -1,0 +1,43 @@
+#ifndef POSEIDON_COMMON_METRIC_SINK_H_
+#define POSEIDON_COMMON_METRIC_SINK_H_
+
+/**
+ * @file
+ * Dependency inversion for low-layer instrumentation.
+ *
+ * `common` sits below `telemetry` in the library graph, so code living
+ * here (the parallel execution engine, the NTT table cache) cannot call
+ * the metrics registry directly. Instead it emits through this sink: a
+ * trio of plain function pointers that the telemetry library installs
+ * once at startup (see MetricsRegistry::global()). Until a sink is
+ * installed every emission is a no-op, so common stays dependency-free
+ * and telemetry-off builds pay nothing.
+ *
+ * The installed sink is published through an atomic pointer to an
+ * immutable struct, so concurrent readers (pool workers) never race
+ * with installation.
+ */
+
+namespace poseidon {
+
+/// Instrument callbacks. Null members are simply skipped.
+struct MetricSink
+{
+    /// Add `v` to the counter `name`.
+    void (*count)(const char *name, double v) = nullptr;
+    /// Set the gauge `name` to `v`.
+    void (*gauge)(const char *name, double v) = nullptr;
+    /// Observe `v` into the histogram `name`.
+    void (*observe)(const char *name, double v) = nullptr;
+};
+
+/// Install the process-wide sink (first install wins; later calls are
+/// ignored so a test cannot accidentally swap telemetry out mid-run).
+void install_metric_sink(const MetricSink &sink);
+
+/// The installed sink, or a struct of null pointers when none is.
+const MetricSink& metric_sink();
+
+} // namespace poseidon
+
+#endif // POSEIDON_COMMON_METRIC_SINK_H_

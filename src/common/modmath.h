@@ -186,6 +186,20 @@ class ShoupMul
     u64 wshoup_ = 0;
 };
 
+/**
+ * Shoup multiplication with caller-held constants: a * w mod q where
+ * wshoup = floor(w * 2^64 / q). This is the loose-constant form of
+ * ShoupMul::mul used by the NTT butterflies (reference and fused),
+ * which stream (w, wshoup) pairs out of precomputed twiddle tables.
+ */
+inline u64
+mul_shoup(u64 a, u64 w, u64 wshoup, u64 q)
+{
+    u64 hi = static_cast<u64>((u128(a) * wshoup) >> 64);
+    u64 r = a * w - hi * q;
+    return r >= q ? r - q : r;
+}
+
 /// Find a generator of the multiplicative group (Z/q)* for prime q.
 u64 find_primitive_root(u64 q);
 

@@ -35,9 +35,25 @@ Prng::Prng(u64 seed)
     if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+void
+Prng::check_owner()
+{
+    std::thread::id self = std::this_thread::get_id();
+    if (owner_ == std::thread::id()) {
+        owner_ = self;
+        return;
+    }
+    POSEIDON_REQUIRE(owner_ == self,
+                     "Prng: drawn from a second thread. A Prng stream "
+                     "is thread-confined for reproducibility; sample "
+                     "outside the parallel region or call "
+                     "rebind_thread() for an explicit handoff");
+}
+
 u64
 Prng::next()
 {
+    check_owner();
     u64 result = rotl(s_[1] * 5, 7) * 9;
     u64 t = s_[1] << 17;
     s_[2] ^= s_[0];

@@ -10,9 +10,21 @@
  * reproducible. Cryptographic strength is irrelevant for this
  * reproduction; distributional shape (uniform / ternary / discrete
  * Gaussian) is what affects correctness and noise growth.
+ *
+ * Thread confinement: a Prng (and the Sampler wrapping it) is a
+ * mutable sequential stream — sharing one across threads would both
+ * race on the state and make the stream order depend on scheduling,
+ * destroying reproducibility. Each instance therefore binds to the
+ * first thread that draws from it and asserts if any other thread
+ * draws later. Code running under parallel_for must not touch a
+ * shared Prng from the loop body (see encrypt_symmetric for the
+ * pattern: sample serially, parallelize the arithmetic that follows).
+ * `rebind_thread()` is the explicit escape hatch for handing an
+ * instance to another thread between (not during) uses.
  */
 
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/modmath.h"
@@ -24,6 +36,22 @@ class Prng
 {
   public:
     explicit Prng(u64 seed = 0x505345494E4F44ULL); // "POSEIDON"-ish
+
+    /// Copies restart confinement: the copy binds to whichever thread
+    /// draws from it first, independent of the original.
+    Prng(const Prng &o)
+        : haveSpare_(o.haveSpare_), spare_(o.spare_)
+    {
+        for (int i = 0; i < 4; ++i) s_[i] = o.s_[i];
+    }
+    Prng& operator=(const Prng &o)
+    {
+        for (int i = 0; i < 4; ++i) s_[i] = o.s_[i];
+        haveSpare_ = o.haveSpare_;
+        spare_ = o.spare_;
+        owner_ = std::thread::id();
+        return *this;
+    }
 
     /// Next raw 64-bit output.
     u64 next();
@@ -37,10 +65,18 @@ class Prng
     /// Standard normal via Box-Muller.
     double gaussian();
 
+    /// Release thread confinement so a *different* thread may draw
+    /// next. Only call between uses — never while another thread may
+    /// still be drawing.
+    void rebind_thread() { owner_ = std::thread::id(); }
+
   private:
+    void check_owner();
+
     u64 s_[4];
     bool haveSpare_ = false;
     double spare_ = 0.0;
+    std::thread::id owner_{}; ///< bound on first draw; see file header
 };
 
 /**
@@ -65,6 +101,9 @@ class Sampler
     std::vector<u64> uniform_mod(std::size_t n, u64 q);
 
     Prng& prng() { return prng_; }
+
+    /// Forwarded confinement release; see Prng::rebind_thread().
+    void rebind_thread() { prng_.rebind_thread(); }
 
   private:
     Prng prng_;

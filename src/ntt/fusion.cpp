@@ -6,17 +6,8 @@
 
 namespace poseidon {
 
-namespace {
-
-inline u64
-mul_shoup(u64 a, u64 w, u64 wshoup, u64 q)
-{
-    u64 hi = static_cast<u64>((u128(a) * wshoup) >> 64);
-    u64 r = a * w - hi * q;
-    return r >= q ? r - q : r;
-}
-
-} // namespace
+// Butterfly twiddle products use the shared mul_shoup from
+// common/modmath.h — one definition for the reference and fused paths.
 
 NttFused::NttFused(const NttTable &table, unsigned k)
     : table_(table), k_(k)

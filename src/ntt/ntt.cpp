@@ -1,24 +1,13 @@
 #include "ntt/ntt.h"
 
 #include "common/check.h"
+#include "ntt/table_cache.h"
 
 namespace poseidon {
 
-namespace {
-
-/// Shoup multiplication with inlined constants (hot path).
-inline u64
-mul_shoup(u64 a, u64 w, u64 wshoup, u64 q)
-{
-    u64 hi = static_cast<u64>((u128(a) * wshoup) >> 64);
-    u64 r = a * w - hi * q;
-    return r >= q ? r - q : r;
-}
-
-} // namespace
-
 NttTable::NttTable(std::size_t n, u64 q)
-    : n_(n), logn_(log2_floor(n)), q_(q)
+    : n_(n), logn_(log2_floor(n)), q_(q),
+      bitRev_(bit_reverse_table(logn_))
 {
     POSEIDON_REQUIRE(is_pow2(n) && n >= 2, "NttTable: N must be 2^k >= 2");
     POSEIDON_REQUIRE((q - 1) % (2 * n) == 0, "NttTable: q != 1 mod 2N");
@@ -39,8 +28,9 @@ NttTable::NttTable(std::size_t n, u64 q)
         pow[i] = mul_mod(pow[i - 1], psi, q);
         ipow[i] = mul_mod(ipow[i - 1], ipsi, q);
     }
+    const std::vector<u32> &br = *bitRev_;
     for (std::size_t i = 0; i < n; ++i) {
-        std::size_t r = bit_reverse(i, logn_);
+        std::size_t r = br[i];
         psiBr_[i] = pow[r];
         ipsiBr_[i] = ipow[r];
         psiBrShoup_[i] = static_cast<u64>((u128(psiBr_[i]) << 64) / q);

@@ -18,6 +18,7 @@
  */
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/modmath.h"
@@ -55,10 +56,15 @@ class NttTable
 
     unsigned log_degree() const { return logn_; }
 
+    /// Length-N bit-reversal permutation (shared across every table of
+    /// the same degree; precomputed once, not per call or per table).
+    const std::vector<u32>& bit_rev() const { return *bitRev_; }
+
   private:
     std::size_t n_;
     unsigned logn_;
     u64 q_;
+    std::shared_ptr<const std::vector<u32>> bitRev_;
     std::vector<u64> psiBr_;       ///< psi^bitrev(i)
     std::vector<u64> psiBrShoup_;  ///< Shoup precomputation of psiBr_
     std::vector<u64> ipsiBr_;      ///< psi^{-bitrev(i)}

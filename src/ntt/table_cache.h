@@ -1,0 +1,56 @@
+#ifndef POSEIDON_NTT_TABLE_CACHE_H_
+#define POSEIDON_NTT_TABLE_CACHE_H_
+
+/**
+ * @file
+ * Process-wide caches for the NTT's precomputed tables.
+ *
+ * Every RingContext used to rebuild identical twiddle tables for the
+ * same (N, q) pair — servers that spin up one context per client, the
+ * bench sweeps and the test suite all paid the O(N) power ladder per
+ * prime per context. The caches here share immutable tables instead:
+ *
+ *  - `shared_ntt_table(n, q)` returns a shared_ptr to the NttTable for
+ *    that (N, q), building it exactly once while any user holds it.
+ *    Entries are weakly held, so tables are freed when the last
+ *    context drops them rather than accumulating forever.
+ *  - `bit_reverse_table(logn)` returns the length-2^logn bit-reversal
+ *    permutation shared by every table (and the automorphism layer)
+ *    at that ring degree — hoisted out of per-table construction.
+ *
+ * Both caches are mutex-protected and safe to call from any thread.
+ * Hit/miss counters flow to telemetry (`ntt.table_cache.*`) through
+ * the common MetricSink.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ntt/ntt.h"
+
+namespace poseidon {
+
+/// Shared, immutable NTT table for (n, q); cached process-wide.
+std::shared_ptr<const NttTable> shared_ntt_table(std::size_t n, u64 q);
+
+/// Shared bit-reversal permutation for degree 2^logn:
+/// table[i] = bit_reverse(i, logn).
+std::shared_ptr<const std::vector<u32>> bit_reverse_table(unsigned logn);
+
+struct NttCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t liveEntries = 0; ///< entries whose table is still alive
+};
+
+NttCacheStats ntt_table_cache_stats();
+
+/// Drop all cache entries and zero the stats (tests only; live
+/// shared_ptr holders keep their tables).
+void clear_ntt_table_cache();
+
+} // namespace poseidon
+
+#endif // POSEIDON_NTT_TABLE_CACHE_H_

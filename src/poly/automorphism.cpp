@@ -1,6 +1,8 @@
 #include "poly/automorphism.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "ntt/table_cache.h"
 
 namespace poseidon {
 
@@ -29,13 +31,13 @@ make_eval_permutation(std::size_t n, u64 g)
     POSEIDON_REQUIRE(g % 2 == 1, "automorphism: galois element must be odd");
     unsigned logn = log2_floor(n);
     const u64 twoN = 2 * static_cast<u64>(n);
+    const std::vector<u32> &rev = *bit_reverse_table(logn);
     std::vector<u32> perm(n);
     for (std::size_t i = 0; i < n; ++i) {
         // Output slot rev(i) holds the evaluation at psi^{(2i+1)g}.
         u64 e = ((2 * static_cast<u64>(i) + 1) * g) % twoN;
         u64 srcNat = (e - 1) / 2;
-        perm[bit_reverse(i, logn)] =
-            static_cast<u32>(bit_reverse(srcNat, logn));
+        perm[rev[i]] = rev[srcNat];
     }
     return perm;
 }
@@ -53,15 +55,21 @@ automorphism(const RnsPoly &p, u64 g)
     RnsPoly out = p; // copies shape; we overwrite data below
     std::size_t n = p.degree();
     if (p.domain() == Domain::Coeff) {
-        for (std::size_t k = 0; k < p.num_limbs(); ++k) {
-            automorphism_coeff_limb(p.limb(k), out.limb(k), n, g,
-                                    p.prime(k));
-        }
+        parallel::parallel_for(0, p.num_limbs(), 1,
+            [&](std::size_t k0, std::size_t k1) {
+                for (std::size_t k = k0; k < k1; ++k) {
+                    automorphism_coeff_limb(p.limb(k), out.limb(k), n, g,
+                                            p.prime(k));
+                }
+            }, "poly.automorphism");
     } else {
         std::vector<u32> perm = make_eval_permutation(n, g);
-        for (std::size_t k = 0; k < p.num_limbs(); ++k) {
-            automorphism_eval_limb(p.limb(k), out.limb(k), n, perm);
-        }
+        parallel::parallel_for(0, p.num_limbs(), 1,
+            [&](std::size_t k0, std::size_t k1) {
+                for (std::size_t k = k0; k < k1; ++k) {
+                    automorphism_eval_limb(p.limb(k), out.limb(k), n, perm);
+                }
+            }, "poly.automorphism");
     }
     return out;
 }

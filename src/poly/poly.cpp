@@ -1,8 +1,24 @@
 #include "poly/poly.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace poseidon {
+
+namespace {
+
+/// Elementwise limb loops only split across threads once a chunk
+/// carries at least this many coefficients; below that, pool dispatch
+/// costs more than the arithmetic it distributes.
+constexpr std::size_t kMinElemsPerTask = 8192;
+
+std::size_t
+limb_grain(std::size_t n)
+{
+    return n >= kMinElemsPerTask ? 1 : kMinElemsPerTask / n;
+}
+
+} // namespace
 
 RnsPoly::RnsPoly(RingContextPtr ctx, std::vector<std::size_t> primeIdx,
                  Domain d)
@@ -51,9 +67,12 @@ void
 RnsPoly::to_eval()
 {
     if (domain_ == Domain::Eval) return;
-    for (std::size_t k = 0; k < data_.size(); ++k) {
-        ctx_->table(primeIdx_[k]).forward(data_[k].data());
-    }
+    parallel::parallel_for(0, data_.size(), 1,
+        [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                ctx_->table(primeIdx_[k]).forward(data_[k].data());
+            }
+        }, "poly.ntt");
     domain_ = Domain::Eval;
 }
 
@@ -61,9 +80,12 @@ void
 RnsPoly::to_coeff()
 {
     if (domain_ == Domain::Coeff) return;
-    for (std::size_t k = 0; k < data_.size(); ++k) {
-        ctx_->table(primeIdx_[k]).inverse(data_[k].data());
-    }
+    parallel::parallel_for(0, data_.size(), 1,
+        [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                ctx_->table(primeIdx_[k]).inverse(data_[k].data());
+            }
+        }, "poly.intt");
     domain_ = Domain::Coeff;
 }
 
@@ -71,51 +93,63 @@ void
 RnsPoly::add_inplace(const RnsPoly &o)
 {
     POSEIDON_REQUIRE(compatible(o), "RnsPoly::add_inplace: incompatible");
-    for (std::size_t k = 0; k < data_.size(); ++k) {
-        u64 q = prime(k);
-        u64 *a = data_[k].data();
-        const u64 *b = o.data_[k].data();
-        for (std::size_t t = 0, n = data_[k].size(); t < n; ++t) {
-            a[t] = add_mod(a[t], b[t], q);
-        }
-    }
+    parallel::parallel_for(0, data_.size(), limb_grain(degree()),
+        [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                u64 q = prime(k);
+                u64 *a = data_[k].data();
+                const u64 *b = o.data_[k].data();
+                for (std::size_t t = 0, n = data_[k].size(); t < n; ++t) {
+                    a[t] = add_mod(a[t], b[t], q);
+                }
+            }
+        }, "poly.elementwise");
 }
 
 void
 RnsPoly::sub_inplace(const RnsPoly &o)
 {
     POSEIDON_REQUIRE(compatible(o), "RnsPoly::sub_inplace: incompatible");
-    for (std::size_t k = 0; k < data_.size(); ++k) {
-        u64 q = prime(k);
-        u64 *a = data_[k].data();
-        const u64 *b = o.data_[k].data();
-        for (std::size_t t = 0, n = data_[k].size(); t < n; ++t) {
-            a[t] = sub_mod(a[t], b[t], q);
-        }
-    }
+    parallel::parallel_for(0, data_.size(), limb_grain(degree()),
+        [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                u64 q = prime(k);
+                u64 *a = data_[k].data();
+                const u64 *b = o.data_[k].data();
+                for (std::size_t t = 0, n = data_[k].size(); t < n; ++t) {
+                    a[t] = sub_mod(a[t], b[t], q);
+                }
+            }
+        }, "poly.elementwise");
 }
 
 void
 RnsPoly::negate_inplace()
 {
-    for (std::size_t k = 0; k < data_.size(); ++k) {
-        u64 q = prime(k);
-        for (auto &v : data_[k]) v = neg_mod(v, q);
-    }
+    parallel::parallel_for(0, data_.size(), limb_grain(degree()),
+        [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                u64 q = prime(k);
+                for (auto &v : data_[k]) v = neg_mod(v, q);
+            }
+        }, "poly.elementwise");
 }
 
 void
 RnsPoly::mul_inplace(const RnsPoly &o)
 {
     POSEIDON_REQUIRE(compatible(o), "RnsPoly::mul_inplace: incompatible");
-    for (std::size_t k = 0; k < data_.size(); ++k) {
-        const Barrett64 &br = ctx_->barrett(primeIdx_[k]);
-        u64 *a = data_[k].data();
-        const u64 *b = o.data_[k].data();
-        for (std::size_t t = 0, n = data_[k].size(); t < n; ++t) {
-            a[t] = br.mul(a[t], b[t]);
-        }
-    }
+    parallel::parallel_for(0, data_.size(), limb_grain(degree()),
+        [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                const Barrett64 &br = ctx_->barrett(primeIdx_[k]);
+                u64 *a = data_[k].data();
+                const u64 *b = o.data_[k].data();
+                for (std::size_t t = 0, n = data_[k].size(); t < n; ++t) {
+                    a[t] = br.mul(a[t], b[t]);
+                }
+            }
+        }, "poly.elementwise");
 }
 
 void
@@ -123,12 +157,13 @@ RnsPoly::mul_scalar_inplace(const std::vector<u64> &scalars)
 {
     POSEIDON_REQUIRE(scalars.size() == data_.size(),
                      "RnsPoly::mul_scalar_inplace: scalar count mismatch");
-    for (std::size_t k = 0; k < data_.size(); ++k) {
-        const Barrett64 &br = ctx_->barrett(primeIdx_[k]);
-        ShoupMul m(scalars[k] % prime(k), prime(k));
-        for (auto &v : data_[k]) v = m.mul(v);
-        (void)br;
-    }
+    parallel::parallel_for(0, data_.size(), limb_grain(degree()),
+        [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                ShoupMul m(scalars[k] % prime(k), prime(k));
+                for (auto &v : data_[k]) v = m.mul(v);
+            }
+        }, "poly.elementwise");
 }
 
 void
@@ -170,19 +205,22 @@ RnsPoly::assign_signed(const std::vector<i64> &coeffs)
                      "RnsPoly::assign_signed: must be in Coeff domain");
     POSEIDON_REQUIRE(coeffs.size() == ctx_->degree(),
                      "RnsPoly::assign_signed: wrong coefficient count");
-    for (std::size_t k = 0; k < data_.size(); ++k) {
-        u64 q = prime(k);
-        for (std::size_t t = 0; t < coeffs.size(); ++t) {
-            i64 v = coeffs[t];
-            if (v >= 0) {
-                data_[k][t] = static_cast<u64>(v) % q;
-            } else {
-                u64 m = static_cast<u64>(-(v + 1)) + 1;
-                u64 r = m % q;
-                data_[k][t] = r == 0 ? 0 : q - r;
+    parallel::parallel_for(0, data_.size(), limb_grain(degree()),
+        [&](std::size_t k0, std::size_t k1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                u64 q = prime(k);
+                for (std::size_t t = 0; t < coeffs.size(); ++t) {
+                    i64 v = coeffs[t];
+                    if (v >= 0) {
+                        data_[k][t] = static_cast<u64>(v) % q;
+                    } else {
+                        u64 m = static_cast<u64>(-(v + 1)) + 1;
+                        u64 r = m % q;
+                        data_[k][t] = r == 0 ? 0 : q - r;
+                    }
+                }
             }
-        }
-    }
+        }, "poly.elementwise");
 }
 
 } // namespace poseidon

@@ -1,6 +1,7 @@
 #include "poly/ring.h"
 
 #include "common/check.h"
+#include "ntt/table_cache.h"
 
 namespace poseidon {
 
@@ -17,7 +18,7 @@ RingContext::RingContext(std::size_t n, std::vector<u64> primes,
     tables_.reserve(primes_.size());
     barrett_.reserve(primes_.size());
     for (u64 q : primes_) {
-        tables_.emplace_back(n_, q);
+        tables_.push_back(shared_ntt_table(n_, q));
         barrett_.emplace_back(q);
     }
 

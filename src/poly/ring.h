@@ -47,7 +47,9 @@ class RingContext
 
     u64 prime(std::size_t i) const { return primes_[i]; }
 
-    const NttTable& table(std::size_t i) const { return tables_[i]; }
+    /// NTT tables are shared process-wide (see ntt/table_cache.h):
+    /// contexts over the same (N, q) pairs reference one table.
+    const NttTable& table(std::size_t i) const { return *tables_[i]; }
 
     const Barrett64& barrett(std::size_t i) const { return barrett_[i]; }
 
@@ -62,7 +64,7 @@ class RingContext
     unsigned logn_;
     std::vector<u64> primes_;
     std::size_t numSpecial_;
-    std::vector<NttTable> tables_;
+    std::vector<std::shared_ptr<const NttTable>> tables_;
     std::vector<Barrett64> barrett_;
     /// ctBases_[l] = basis over primes [0, l+1)
     std::vector<RnsBasis> ctBases_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace poseidon {
 
@@ -34,28 +35,37 @@ RnsConv::convert(const std::vector<const u64*> &src,
     POSEIDON_REQUIRE(src.size() == ls && dst.size() == ld,
                      "RnsConv::convert: limb count mismatch");
 
-    std::vector<u64> y(ls);
-    for (std::size_t t = 0; t < n; ++t) {
-        double est = 0.0;
-        for (std::size_t i = 0; i < ls; ++i) {
-            y[i] = src_.barrett(i).mul(src[i][t], src_.qhat_inv(i));
-            est += static_cast<double>(y[i]) * qInvDouble_[i];
-        }
-        // Number of whole-Q overflows in sum_i y_i * Qhat_i.
-        u64 e = correct ? static_cast<u64>(std::llround(est)) : 0;
-        for (std::size_t j = 0; j < ld; ++j) {
-            u64 p = dst_.modulus(j);
-            const Barrett64 &br = dst_.barrett(j);
-            u64 acc = 0;
-            for (std::size_t i = 0; i < ls; ++i) {
-                acc = add_mod(acc, br.mul(y[i] % p, qhatMod_[j][i]), p);
+    // Each coefficient column t is independent; split the coefficient
+    // range across threads with chunk-local y scratch. Every chunk
+    // writes a disjoint slice of each dst limb, so results are
+    // bit-identical at any thread count.
+    parallel::parallel_for(0, n, 256,
+        [&](std::size_t t0, std::size_t t1) {
+            std::vector<u64> y(ls);
+            for (std::size_t t = t0; t < t1; ++t) {
+                double est = 0.0;
+                for (std::size_t i = 0; i < ls; ++i) {
+                    y[i] = src_.barrett(i).mul(src[i][t],
+                                               src_.qhat_inv(i));
+                    est += static_cast<double>(y[i]) * qInvDouble_[i];
+                }
+                // Number of whole-Q overflows in sum_i y_i * Qhat_i.
+                u64 e = correct ? static_cast<u64>(std::llround(est)) : 0;
+                for (std::size_t j = 0; j < ld; ++j) {
+                    u64 p = dst_.modulus(j);
+                    const Barrett64 &br = dst_.barrett(j);
+                    u64 acc = 0;
+                    for (std::size_t i = 0; i < ls; ++i) {
+                        acc = add_mod(acc,
+                                      br.mul(y[i] % p, qhatMod_[j][i]), p);
+                    }
+                    if (e) {
+                        acc = sub_mod(acc, br.mul(e % p, qMod_[j]), p);
+                    }
+                    dst[j][t] = acc;
+                }
             }
-            if (e) {
-                acc = sub_mod(acc, br.mul(e % p, qMod_[j]), p);
-            }
-            dst[j][t] = acc;
-        }
-    }
+        }, "rns.conv");
 }
 
 ModDown::ModDown(const RnsBasis &qBasis, const RnsBasis &pBasis)
@@ -85,14 +95,17 @@ ModDown::apply(const std::vector<const u64*> &xq,
     for (std::size_t i = 0; i < l; ++i) scratchPtr[i] = scratch[i].data();
     conv_.convert(xp, scratchPtr, n, /*correct=*/true);
 
-    for (std::size_t i = 0; i < l; ++i) {
-        u64 q = qb.modulus(i);
-        const Barrett64 &br = qb.barrett(i);
-        for (std::size_t t = 0; t < n; ++t) {
-            u64 d = sub_mod(xq[i][t], scratch[i][t], q);
-            out[i][t] = br.mul(d, pInv_[i]);
-        }
-    }
+    parallel::parallel_for(0, l, 1,
+        [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                u64 q = qb.modulus(i);
+                const Barrett64 &br = qb.barrett(i);
+                for (std::size_t t = 0; t < n; ++t) {
+                    u64 d = sub_mod(xq[i][t], scratch[i][t], q);
+                    out[i][t] = br.mul(d, pInv_[i]);
+                }
+            }
+        }, "rns.moddown");
 }
 
 } // namespace poseidon

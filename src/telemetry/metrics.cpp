@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/metric_sink.h"
 
 namespace poseidon::telemetry {
 
@@ -72,6 +73,36 @@ MetricsRegistry::global()
     static MetricsRegistry *reg = new MetricsRegistry();
     return *reg;
 }
+
+#ifndef POSEIDON_TELEMETRY_DISABLED
+namespace {
+
+/// Bridge the common-layer MetricSink (see common/metric_sink.h) into
+/// the registry so the parallel engine and NTT table cache show up in
+/// the normal metrics export. Installed once at library load; the
+/// captureless lambdas decay to the plain function pointers the sink
+/// expects and resolve the registry lazily at emit time.
+bool
+install_registry_sink()
+{
+    MetricSink sink;
+    sink.count = [](const char *name, double v) {
+        if (enabled()) MetricsRegistry::global().counter(name).add(v);
+    };
+    sink.gauge = [](const char *name, double v) {
+        if (enabled()) MetricsRegistry::global().gauge(name).set(v);
+    };
+    sink.observe = [](const char *name, double v) {
+        if (enabled()) MetricsRegistry::global().histogram(name).observe(v);
+    };
+    install_metric_sink(sink);
+    return true;
+}
+
+const bool g_sinkInstalled = install_registry_sink();
+
+} // namespace
+#endif
 
 namespace {
 

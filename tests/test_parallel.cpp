@@ -1,0 +1,327 @@
+// Tests for the host parallel execution engine (common/parallel.h):
+// pool lifecycle, deterministic partitioning, exception propagation,
+// nested-call safety — plus the end-to-end guarantee the engine is
+// built around: CKKS results and simulated cycle counts are
+// bit-identical at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/prng.h"
+#include "common/status.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "hw/sim.h"
+#include "isa/compiler.h"
+#include "ntt/table_cache.h"
+#include "rns/primes.h"
+
+namespace poseidon {
+namespace {
+
+/// Restores the environment-default pool size on scope exit so tests
+/// can resize freely without leaking state into each other.
+struct PoolSizeGuard
+{
+    ~PoolSizeGuard() { parallel::set_num_threads(0); }
+};
+
+TEST(Parallel, PoolSizeOverrideAndRestore)
+{
+    PoolSizeGuard guard;
+    parallel::set_num_threads(3);
+    EXPECT_EQ(parallel::num_threads(), 3u);
+    parallel::set_num_threads(1);
+    EXPECT_EQ(parallel::num_threads(), 1u);
+    parallel::set_num_threads(0);
+    EXPECT_GE(parallel::num_threads(), 1u);
+}
+
+TEST(Parallel, CoversRangeExactlyOnce)
+{
+    PoolSizeGuard guard;
+    for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+        parallel::set_num_threads(threads);
+        std::vector<int> hits(1000, 0);
+        parallel::parallel_for(0, hits.size(), 1,
+            [&](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+            });
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            ASSERT_EQ(hits[i], 1) << "index " << i << " at "
+                                  << threads << " threads";
+        }
+    }
+}
+
+TEST(Parallel, GrainEdgeCases)
+{
+    PoolSizeGuard guard;
+    parallel::set_num_threads(4);
+
+    // Empty range: the body must never run.
+    bool ran = false;
+    parallel::parallel_for(5, 5, 1,
+        [&](std::size_t, std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+
+    // Grain 0 behaves as grain 1.
+    std::atomic<std::size_t> count{0};
+    parallel::parallel_for(0, 8, 0,
+        [&](std::size_t b, std::size_t e) { count += e - b; });
+    EXPECT_EQ(count.load(), 8u);
+
+    // Grain larger than the range: one serial chunk spanning it all.
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    parallel::parallel_for(3, 10, 100,
+        [&](std::size_t b, std::size_t e) {
+            chunks.emplace_back(b, e);
+        });
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].first, 3u);
+    EXPECT_EQ(chunks[0].second, 10u);
+
+    // Non-zero begin is respected.
+    std::atomic<std::size_t> sum{0};
+    parallel::parallel_for(100, 200, 10,
+        [&](std::size_t b, std::size_t e) {
+            std::size_t local = 0;
+            for (std::size_t i = b; i < e; ++i) local += i;
+            sum += local;
+        });
+    EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2u);
+}
+
+TEST(Parallel, DeterministicChunkGeometry)
+{
+    PoolSizeGuard guard;
+    parallel::set_num_threads(4);
+    auto collect = [] {
+        std::vector<std::pair<std::size_t, std::size_t>> chunks(4);
+        std::atomic<std::size_t> slot{0};
+        parallel::parallel_for(0, 103, 1,
+            [&](std::size_t b, std::size_t e) {
+                chunks[slot.fetch_add(1)] = {b, e};
+            });
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+    };
+    auto a = collect();
+    auto b = collect();
+    EXPECT_EQ(a, b) << "chunk geometry must not depend on timing";
+}
+
+TEST(Parallel, ExceptionPropagatesAndPoolSurvives)
+{
+    PoolSizeGuard guard;
+    parallel::set_num_threads(4);
+    EXPECT_THROW(
+        parallel::parallel_for(0, 100, 1,
+            [&](std::size_t b, std::size_t) {
+                if (b == 0) throw std::runtime_error("boom");
+            }),
+        std::runtime_error);
+
+    // The pool must stay usable after a throwing region.
+    std::atomic<std::size_t> count{0};
+    parallel::parallel_for(0, 100, 1,
+        [&](std::size_t b, std::size_t e) { count += e - b; });
+    EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(Parallel, NestedCallsRunInline)
+{
+    PoolSizeGuard guard;
+    parallel::set_num_threads(4);
+    EXPECT_FALSE(parallel::in_parallel_region());
+    std::atomic<std::size_t> inner{0};
+    std::atomic<int> nestedSeen{0};
+    parallel::parallel_for(0, 8, 1,
+        [&](std::size_t b, std::size_t e) {
+            if (!parallel::in_parallel_region()) nestedSeen = -1;
+            for (std::size_t i = b; i < e; ++i) {
+                parallel::parallel_for(0, 10, 1,
+                    [&](std::size_t nb, std::size_t ne) {
+                        inner += ne - nb;
+                    });
+            }
+            nestedSeen.fetch_add(1);
+        });
+    EXPECT_EQ(inner.load(), 80u);
+    EXPECT_GT(nestedSeen.load(), 0);
+    EXPECT_FALSE(parallel::in_parallel_region());
+}
+
+TEST(Parallel, StatsAdvance)
+{
+    PoolSizeGuard guard;
+    parallel::set_num_threads(2);
+    parallel::PoolStats before = parallel::pool_stats();
+    parallel::parallel_for(0, 100, 1,
+        [](std::size_t, std::size_t) {});
+    parallel::PoolStats after = parallel::pool_stats();
+    EXPECT_GT(after.regions, before.regions);
+    EXPECT_GT(after.tasks, before.tasks);
+    EXPECT_EQ(after.threads, 2u);
+}
+
+TEST(ParallelPrng, ThreadConfinementAsserts)
+{
+    Prng prng(42);
+    prng.next(); // binds to this thread
+    std::exception_ptr err;
+    std::thread t([&] {
+        try {
+            prng.next();
+        } catch (...) {
+            err = std::current_exception();
+        }
+    });
+    t.join();
+    EXPECT_TRUE(err != nullptr)
+        << "cross-thread draw must be rejected";
+
+    // Explicit handoff is allowed.
+    prng.rebind_thread();
+    std::thread t2([&] { prng.next(); });
+    t2.join();
+
+    // Copies re-confine independently.
+    prng.rebind_thread();
+    prng.next();
+    Prng copy = prng;
+    std::thread t3([&] { copy.next(); });
+    t3.join();
+}
+
+TEST(ParallelNttCache, SharesTablesAcrossContexts)
+{
+    clear_ntt_table_cache();
+    const std::size_t n = 1u << 11;
+    u64 q = generate_ntt_primes(n, 45, 1)[0];
+    auto a = shared_ntt_table(n, q);
+    auto b = shared_ntt_table(n, q);
+    EXPECT_EQ(a.get(), b.get());
+    NttCacheStats s = ntt_table_cache_stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.liveEntries, 1u);
+
+    // Weak entries die with their last holder.
+    a.reset();
+    b.reset();
+    EXPECT_EQ(ntt_table_cache_stats().liveEntries, 0u);
+}
+
+// --- End-to-end determinism at different thread counts ---------------
+
+CkksParams
+small_params()
+{
+    CkksParams p;
+    p.logN = 11;
+    p.L = 5;
+    p.scaleBits = 35;
+    p.firstPrimeBits = 45;
+    p.specialPrimeBits = 45;
+    return p;
+}
+
+struct Fixture
+{
+    CkksContextPtr ctx;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    CkksEncryptor encryptor;
+    CkksDecryptor decryptor;
+    CkksEvaluator eval;
+
+    explicit Fixture(CkksParams p)
+        : ctx(make_ckks_context(p)),
+          encoder(ctx),
+          keygen(ctx),
+          encryptor(ctx, keygen.make_public_key()),
+          decryptor(ctx, keygen.secret_key()),
+          eval(ctx)
+    {}
+};
+
+std::vector<std::vector<u64>>
+dump_limbs(const Ciphertext &ct)
+{
+    std::vector<std::vector<u64>> out;
+    for (const RnsPoly *p : {&ct.c0, &ct.c1}) {
+        for (std::size_t k = 0; k < p->num_limbs(); ++k) {
+            out.emplace_back(p->limb(k), p->limb(k) + p->degree());
+        }
+    }
+    return out;
+}
+
+TEST(ParallelDeterminism, CkksPipelineBitIdenticalAcrossThreadCounts)
+{
+    PoolSizeGuard guard;
+    Fixture f(small_params());
+    KSwitchKey relin = f.keygen.make_relin_key();
+    GaloisKeys gk = f.keygen.make_galois_keys({1, 3});
+
+    std::vector<cdouble> v(f.ctx->slots());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = cdouble(0.01 * static_cast<double>(i), -0.5);
+    }
+    Plaintext pt = f.encoder.encode(v, f.ctx->params().L);
+    Ciphertext ct = f.encryptor.encrypt(pt);
+
+    auto pipeline = [&] {
+        Ciphertext r = f.eval.mul(ct, ct, relin);
+        f.eval.rescale_inplace(r);
+        r = f.eval.rotate(r, 1, gk);
+        return dump_limbs(r);
+    };
+
+    parallel::set_num_threads(1);
+    auto serial = pipeline();
+    parallel::set_num_threads(4);
+    auto fourWay = pipeline();
+
+    ASSERT_EQ(serial.size(), fourWay.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i], fourWay[i])
+            << "limb " << i << " differs between 1 and 4 threads";
+    }
+}
+
+TEST(ParallelDeterminism, SimCyclesUnaffectedByThreadCount)
+{
+    PoolSizeGuard guard;
+    isa::OpShape shape;
+    shape.n = u64(1) << 16;
+    shape.limbs = 44;
+    shape.K = 1;
+
+    auto run = [&] {
+        hw::PoseidonSim sim;
+        isa::Trace t;
+        isa::emit_cmult(t, shape);
+        isa::emit_rescale(t, shape);
+        return sim.run(t);
+    };
+
+    parallel::set_num_threads(1);
+    hw::SimResult serial = run();
+    parallel::set_num_threads(4);
+    hw::SimResult fourWay = run();
+
+    EXPECT_EQ(serial.kindCycles, fourWay.kindCycles);
+    EXPECT_EQ(serial.seconds, fourWay.seconds);
+}
+
+} // namespace
+} // namespace poseidon
