@@ -1,5 +1,6 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -18,6 +19,23 @@ namespace {
 
 thread_local bool tlInRegion = false;
 
+/// Ceiling on pool size. Oversubscribing a little is harmless, but an
+/// unbounded POSEIDON_THREADS (a typo like 100000) would spawn that
+/// many OS threads or die with std::system_error mid-run, so requests
+/// are silently clamped here instead.
+std::size_t
+max_threads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return 4 * static_cast<std::size_t>(hw == 0 ? 16 : hw);
+}
+
+std::size_t
+clamp_threads(std::size_t n)
+{
+    return std::min(std::max<std::size_t>(n, 1), max_threads());
+}
+
 std::size_t
 default_threads()
 {
@@ -25,7 +43,7 @@ default_threads()
         char *endp = nullptr;
         long v = std::strtol(env, &endp, 10);
         if (endp != env && *endp == '\0' && v >= 1) {
-            return static_cast<std::size_t>(v);
+            return clamp_threads(static_cast<std::size_t>(v));
         }
     }
     unsigned hw = std::thread::hardware_concurrency();
@@ -95,7 +113,7 @@ class Pool
             lk.lock();
             stop_ = false;
         }
-        nthreads_ = n == 0 ? default_threads() : n;
+        nthreads_ = n == 0 ? default_threads() : clamp_threads(n);
     }
 
     /// Run one batch to completion; the calling thread participates.
@@ -156,12 +174,30 @@ class Pool
             if (stop_) return;
             Batch *b = current_;
             seen = gen_;
-            // All chunks already claimed: nothing to do, and attaching
-            // now would only extend the batch's lifetime.
-            if (b->next.load(std::memory_order_relaxed) >= b->nchunks) {
-                continue;
+            {
+                // The claimed-check and the attach must be one atomic
+                // step w.r.t. run()'s exit predicate (also under
+                // doneMu). Otherwise the caller could observe
+                // completed==nchunks && attached==0 between our check
+                // and our increment, pass its wait, and destroy the
+                // stack-allocated batch while we still hold a pointer
+                // to it. Under doneMu the two outcomes are clean:
+                // either we attach before the caller can pass (it then
+                // waits for our detach), or the caller already passed,
+                // in which case completed==nchunks implies every chunk
+                // was claimed and the next-load below sees that, so we
+                // never touch the batch again. Lock order is always
+                // mu_ -> doneMu; nothing takes mu_ while holding
+                // doneMu, so this nesting cannot deadlock.
+                std::lock_guard<std::mutex> dl(b->doneMu);
+                if (b->next.load(std::memory_order_relaxed) >=
+                    b->nchunks) {
+                    // All chunks already claimed: nothing to do, and
+                    // attaching would only extend the batch's lifetime.
+                    continue;
+                }
+                b->attached.fetch_add(1, std::memory_order_relaxed);
             }
-            b->attached.fetch_add(1, std::memory_order_relaxed);
             lk.unlock();
             execute_chunks(*b);
             {

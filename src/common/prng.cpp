@@ -39,11 +39,16 @@ void
 Prng::check_owner()
 {
     std::thread::id self = std::this_thread::get_id();
-    if (owner_ == std::thread::id()) {
-        owner_ = self;
+    std::thread::id expected{};
+    // CAS so first-draw binding is race-free: of two threads racing on
+    // a fresh (or just-rebound) instance, exactly one becomes owner
+    // and the other trips the assert below (expected then holds the
+    // winner's id).
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
         return;
     }
-    POSEIDON_REQUIRE(owner_ == self,
+    POSEIDON_REQUIRE(expected == self,
                      "Prng: drawn from a second thread. A Prng stream "
                      "is thread-confined for reproducibility; sample "
                      "outside the parallel region or call "

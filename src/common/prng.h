@@ -23,6 +23,7 @@
  * instance to another thread between (not during) uses.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -49,7 +50,7 @@ class Prng
         for (int i = 0; i < 4; ++i) s_[i] = o.s_[i];
         haveSpare_ = o.haveSpare_;
         spare_ = o.spare_;
-        owner_ = std::thread::id();
+        owner_.store(std::thread::id(), std::memory_order_relaxed);
         return *this;
     }
 
@@ -68,7 +69,10 @@ class Prng
     /// Release thread confinement so a *different* thread may draw
     /// next. Only call between uses — never while another thread may
     /// still be drawing.
-    void rebind_thread() { owner_ = std::thread::id(); }
+    void rebind_thread()
+    {
+        owner_.store(std::thread::id(), std::memory_order_relaxed);
+    }
 
   private:
     void check_owner();
@@ -76,7 +80,11 @@ class Prng
     u64 s_[4];
     bool haveSpare_ = false;
     double spare_ = 0.0;
-    std::thread::id owner_{}; ///< bound on first draw; see file header
+    /// Bound on first draw (see file header). Atomic so the bind
+    /// itself cannot race: two threads hitting a fresh instance
+    /// concurrently must resolve to exactly one owner, with the loser
+    /// asserting, instead of both silently binding.
+    std::atomic<std::thread::id> owner_{std::thread::id()};
 };
 
 /**

@@ -61,6 +61,43 @@ TEST(Parallel, CoversRangeExactlyOnce)
     }
 }
 
+// Regression stress for the batch-teardown race: with tiny batches
+// (few chunks, near-empty bodies) the caller often claims and finishes
+// every chunk before a worker has even looked at the batch, so the
+// worker's claimed-check races the caller's exit predicate and the
+// stack batch's destruction. Thousands of back-to-back rounds at an
+// oversubscribed thread count keep that window hot; under TSan this
+// test is what exercises the attach/exit protocol.
+TEST(Parallel, RapidTinyBatchesStress)
+{
+    PoolSizeGuard guard;
+    parallel::set_num_threads(8);
+    std::atomic<std::size_t> total{0};
+    for (int round = 0; round < 4000; ++round) {
+        parallel::parallel_for(0, 2, 1,
+            [&](std::size_t b, std::size_t e) {
+                total.fetch_add(e - b, std::memory_order_relaxed);
+            });
+    }
+    EXPECT_EQ(total.load(), 8000u);
+}
+
+TEST(Parallel, ThreadCountClampedToSaneCeiling)
+{
+    PoolSizeGuard guard;
+    // A typo-sized request must not try to spawn 100000 OS threads;
+    // it is clamped to a small multiple of hardware_concurrency.
+    parallel::set_num_threads(100000);
+    unsigned hw = std::thread::hardware_concurrency();
+    std::size_t ceiling = 4 * static_cast<std::size_t>(hw == 0 ? 16 : hw);
+    EXPECT_LE(parallel::num_threads(), ceiling);
+    // The clamped pool still works.
+    std::atomic<std::size_t> count{0};
+    parallel::parallel_for(0, 64, 1,
+        [&](std::size_t b, std::size_t e) { count += e - b; });
+    EXPECT_EQ(count.load(), 64u);
+}
+
 TEST(Parallel, GrainEdgeCases)
 {
     PoolSizeGuard guard;
@@ -199,6 +236,33 @@ TEST(ParallelPrng, ThreadConfinementAsserts)
     Prng copy = prng;
     std::thread t3([&] { copy.next(); });
     t3.join();
+}
+
+// First-draw binding is a CAS, so when two threads race to draw from
+// a fresh instance exactly one becomes the owner and the other is
+// rejected — the confinement check cannot be silently defeated by a
+// concurrent bind, and the bind itself is not a data race under TSan.
+TEST(ParallelPrng, ConcurrentFirstDrawBindsExactlyOne)
+{
+    Prng prng(7);
+    std::atomic<int> ready{0};
+    std::atomic<int> ok{0};
+    std::atomic<int> rejected{0};
+    auto racer = [&] {
+        ready.fetch_add(1);
+        while (ready.load() < 2) {} // start as close together as possible
+        try {
+            prng.next();
+            ok.fetch_add(1);
+        } catch (const poseidon::Error&) {
+            rejected.fetch_add(1);
+        }
+    };
+    std::thread a(racer), b(racer);
+    a.join();
+    b.join();
+    EXPECT_EQ(ok.load(), 1);
+    EXPECT_EQ(rejected.load(), 1);
 }
 
 TEST(ParallelNttCache, SharesTablesAcrossContexts)
