@@ -5,12 +5,16 @@
 #include <fstream>
 #include <utility>
 
+#include "common/parallel.h"
+
 namespace poseidon::bench {
 
+namespace {
+
 std::string
-git_describe()
+run_git(const char *cmd)
 {
-    FILE *p = ::popen("git describe --always --dirty 2>/dev/null", "r");
+    FILE *p = ::popen(cmd, "r");
     if (!p) return "unknown";
     char buf[128];
     std::string out;
@@ -21,6 +25,20 @@ git_describe()
     }
     if (rc != 0 || out.empty()) return "unknown";
     return out;
+}
+
+} // namespace
+
+std::string
+git_describe()
+{
+    return run_git("git describe --always --dirty 2>/dev/null");
+}
+
+std::string
+git_sha()
+{
+    return run_git("git rev-parse HEAD 2>/dev/null");
 }
 
 Harness::Harness(std::string name, int argc, char **argv)
@@ -48,6 +66,12 @@ Harness::metric(const std::string &key, double v)
 }
 
 void
+Harness::set_hw_config_name(std::string name)
+{
+    hwConfigName_ = std::move(name);
+}
+
+void
 Harness::record_sim(const std::string &prefix, const hw::SimResult &r,
                     const hw::HwConfig &cfg)
 {
@@ -72,9 +96,14 @@ Harness::finish(int rc)
     }
 
     telemetry::Json root = telemetry::Json::object();
-    root.set("schema_version", telemetry::Json(1));
+    root.set("schema_version", telemetry::Json(2));
     root.set("name", telemetry::Json(name_));
     root.set("git", telemetry::Json(git_describe()));
+    root.set("git_sha", telemetry::Json(git_sha()));
+    root.set("threads",
+             telemetry::Json(
+                 static_cast<u64>(parallel::num_threads())));
+    root.set("hw_config", telemetry::Json(hwConfigName_));
     root.set("config", config_);
     root.set("metrics", metrics_);
     root.set("cycles", telemetry::Json(totalCycles_));

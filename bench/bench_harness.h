@@ -9,18 +9,27 @@
  * that is the human-facing artifact — and additionally emits a
  * machine-readable summary `BENCH_<name>.json` so CI and scripts can
  * track results across commits without scraping tables. Schema
- * (version 1):
+ * (version 2):
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "name":    "<bench name>",
  *     "git":     "<git describe --always --dirty, or 'unknown'>",
+ *     "git_sha": "<git rev-parse HEAD, or 'unknown'>",
+ *     "threads": <POSEIDON_THREADS-resolved worker count>,
+ *     "hw_config": "<modeled machine, default 'poseidon_u280'>",
  *     "config":  { ... bench-declared knobs ... },
  *     "metrics": { ... bench-declared scalars ... },
  *     "cycles":  <total modeled cycles across record_sim() calls>,
  *     "seconds": <total modeled seconds>,
  *     "bandwidth_util": <HBM bytes / (seconds * peak), 0 if no sim>
  *   }
+ *
+ * The git_sha / threads / hw_config stamps exist for the regression
+ * gate: tools/bench_compare refuses to diff documents whose
+ * hw_config or threads disagree, and git_sha ties a baseline to the
+ * commit that produced it. Version 1 (no stamps) is still accepted by
+ * validate_bench_json.
  *
  * The JSON lands in $POSEIDON_BENCH_DIR (default: the working
  * directory); `--no-json` suppresses it entirely.
@@ -38,6 +47,9 @@ namespace poseidon::bench {
 /// when git (or the repo) is unavailable.
 std::string git_describe();
 
+/// `git rev-parse HEAD`, or "unknown".
+std::string git_sha();
+
 class Harness
 {
   public:
@@ -50,6 +62,11 @@ class Harness
 
     /// Declare a result scalar.
     void metric(const std::string &key, double v);
+
+    /// Name the modeled machine for the hw_config stamp (benches that
+    /// sweep non-default configs should call this; the default is
+    /// "poseidon_u280").
+    void set_hw_config_name(std::string name);
 
     /// Record one simulator run: emits `<prefix>.cycles`,
     /// `<prefix>.seconds`, `<prefix>.bandwidth_util` metrics and
@@ -68,6 +85,7 @@ class Harness
   private:
     std::string name_;
     std::string outPath_;
+    std::string hwConfigName_ = "poseidon_u280";
     bool writeJson_ = true;
     bool finished_ = false;
     telemetry::Json config_ = telemetry::Json::object();

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <string>
 
+#include "hw/profiler.h"
 #include "hw/sim.h"
 #include "hw/sim_telemetry.h"
 #include "isa/op.h"
@@ -73,6 +74,14 @@ main(int argc, char **argv)
     std::printf("modeled: %.3f ms, %.0f cycles, BW util %.1f%%\n",
                 r.seconds * 1e3, r.cycles,
                 100.0 * r.bandwidth_utilization(cfg));
+
+    // Where those cycles went: the bottleneck-attribution profiler
+    // over the same timeline (it re-verifies cycle conservation and
+    // publishes the sim.util.* / sim.roofline.* gauges shown in the
+    // metrics dump below).
+    hw::ProfileReport prof = hw::profile(tl, r, cfg, wl.name);
+    prof.export_metrics(reg);
+    std::printf("\n%s", prof.to_text().c_str());
 
     // Metrics dump (machine-readable).
     std::printf("\n-- metrics --\n%s\n", reg.to_json().dump(2).c_str());

@@ -26,17 +26,26 @@ to_string(Level lv)
 Level
 parse_level(const std::string &text, Level fallback)
 {
+    bool recognized = false;
+    return parse_level(text, fallback, &recognized);
+}
+
+Level
+parse_level(const std::string &text, Level fallback, bool *recognized)
+{
     std::string t;
     t.reserve(text.size());
     for (char c : text) {
         t += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
     }
+    *recognized = true;
     if (t == "trace") return Level::TRACE;
     if (t == "debug") return Level::DEBUG;
     if (t == "info") return Level::INFO;
     if (t == "warn" || t == "warning") return Level::WARN;
     if (t == "error") return Level::ERROR;
     if (t == "off" || t == "none") return Level::OFF;
+    *recognized = false;
     return fallback;
 }
 
@@ -48,7 +57,17 @@ threshold_storage()
     static std::atomic<int> lv = [] {
         Level initial = Level::WARN;
         if (const char *env = std::getenv("POSEIDON_LOG_LEVEL")) {
-            initial = parse_level(env, initial);
+            bool recognized = false;
+            initial = parse_level(env, initial, &recognized);
+            if (!recognized) {
+                // Once, at first use: a typo'd level must not
+                // silently mute (or unmute) the process.
+                std::fprintf(stderr,
+                             "[poseidon] POSEIDON_LOG_LEVEL=\"%s\" is "
+                             "not a log level (trace|debug|info|warn|"
+                             "error|off); keeping default %s\n",
+                             env, to_string(initial));
+            }
         }
         return std::atomic<int>(static_cast<int>(initial));
     }();

@@ -41,6 +41,12 @@ const char* to_string(Level lv);
 /// Parse "debug", "WARN", ... (case-insensitive); `fallback` on junk.
 Level parse_level(const std::string &text, Level fallback);
 
+/// Same, reporting whether `text` named a level. An unrecognized
+/// POSEIDON_LOG_LEVEL warns once on stderr and keeps the default —
+/// it must never silently change the threshold.
+Level parse_level(const std::string &text, Level fallback,
+                  bool *recognized);
+
 /// Current threshold: messages below it are dropped. Initialized once
 /// from POSEIDON_LOG_LEVEL (default WARN).
 Level threshold();

@@ -155,7 +155,8 @@ PoseidonSim::run(const Trace &trace, SimTimeline *timeline) const
                 // memCycles holds the raw value for now; spill scaling
                 // and retries land below once the segment's spill
                 // factor is known.
-                seg.instrs.push_back(InstrTiming{in.kind, c, m, bytes});
+                seg.instrs.push_back(
+                    InstrTiming{in.kind, c, m, bytes, in.elems});
                 instrRetry.push_back(retry);
             }
             ++i;
@@ -172,6 +173,7 @@ PoseidonSim::run(const Trace &trace, SimTimeline *timeline) const
         double spill = std::max(1.0, requiredBytes / capacity);
         // ECC replay traffic is re-streamed as-is; it does not grow
         // with scratchpad pressure.
+        double segRawMem = segMem;
         segMem = segMem * spill + segRetry;
 
         double ov = cfg_.overlap;
@@ -187,6 +189,10 @@ PoseidonSim::run(const Trace &trace, SimTimeline *timeline) const
             seg.cycles = segCycles;
             seg.computeCycles = segCompute;
             seg.memCycles = segMem;
+            seg.rawMemCycles = segRawMem;
+            seg.retryCycles = segRetry;
+            seg.spillFactor = spill;
+            seg.maxDegree = segDegree;
             timeline->segments.push_back(std::move(seg));
         }
         r.cycles += segCycles;

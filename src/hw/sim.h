@@ -75,6 +75,9 @@ struct InstrTiming
     /// what the instruction actually contributes to segment time.
     double memCycles = 0.0;
     u64 bytes = 0;
+    /// Scalar elements the instruction processes (isa::Instr::elems) —
+    /// the "useful work" numerator for occupancy and roofline math.
+    u64 elems = 0;
 };
 
 /// Modeled timing of one maximal same-tag segment (one basic op).
@@ -85,6 +88,14 @@ struct SegmentTiming
     double cycles = 0.0;     ///< overlapped segment duration
     double computeCycles = 0.0;
     double memCycles = 0.0;
+    /// Memory cycles before scratchpad-spill scaling and ECC retries.
+    double rawMemCycles = 0.0;
+    /// ECC replay cycles charged into memCycles.
+    double retryCycles = 0.0;
+    /// Scratchpad pressure: memory-time multiplier (1.0 = resident)
+    /// and the resident-tile footprint that produced it.
+    double spillFactor = 1.0;
+    u64 maxDegree = 0;
     std::vector<InstrTiming> instrs;
 };
 

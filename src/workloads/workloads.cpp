@@ -1,6 +1,9 @@
 #include "workloads/workloads.h"
 
+#include <cctype>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace poseidon::workloads {
 
@@ -216,6 +219,54 @@ paper_benchmarks()
     OpShape s = paper_shape();
     return {make_lr(s), make_lstm(s), make_resnet20(s),
             make_packed_bootstrapping(s)};
+}
+
+std::vector<std::string>
+workload_names()
+{
+    return {"LR", "LSTM", "ResNet-20", "Packed Bootstrapping"};
+}
+
+namespace {
+
+/// Lowercase and drop everything but letters and digits, so "LR",
+/// "ResNet-20" and "Packed Bootstrapping" match forgiving spellings.
+std::string
+canonical(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Workload
+find_workload(const std::string &name)
+{
+    std::string key = canonical(name);
+    OpShape s = paper_shape();
+    if (key == "lr" || key == "helr") return make_lr(s);
+    if (key == "lstm") return make_lstm(s);
+    if (key == "resnet20" || key == "resnet") return make_resnet20(s);
+    if (key == "packedbootstrapping" || key == "bootstrapping" ||
+        key == "bootstrap") {
+        return make_packed_bootstrapping(s);
+    }
+    std::string known;
+    for (const std::string &n : workload_names()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+    }
+    POSEIDON_REQUIRE(false, "unknown workload \"" << name
+                                                  << "\"; known: "
+                                                  << known);
+    return {}; // unreachable
 }
 
 } // namespace poseidon::workloads

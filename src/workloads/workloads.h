@@ -65,6 +65,16 @@ Workload make_packed_bootstrapping(const isa::OpShape &top);
 /// All four, at the paper's scale (N = 2^16).
 std::vector<Workload> paper_benchmarks();
 
+/// Canonical names accepted by find_workload (the Workload::name of
+/// each paper benchmark, in paper_benchmarks() order).
+std::vector<std::string> workload_names();
+
+/// Look a paper benchmark up by name, case- and punctuation-
+/// insensitively ("lr", "LSTM", "resnet-20", "packed_bootstrapping",
+/// "bootstrapping", ...). Throws poseidon::InvalidArgument on an
+/// unknown name, listing the valid ones.
+Workload find_workload(const std::string &name);
+
 /// The paper-scale shape (N = 2^16, 44 limbs, 1 special prime).
 isa::OpShape paper_shape();
 

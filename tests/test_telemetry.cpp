@@ -11,7 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
+#include "hw/profiler.h"
 #include "hw/sim.h"
 #include "hw/sim_telemetry.h"
 #include "isa/compiler.h"
@@ -392,6 +394,102 @@ TEST(SimTelemetry, SimTrackReproducesKindCyclesExactly)
         sumSeg += seg.cycles;
     }
     EXPECT_EQ(sumSeg, r.cycles);
+}
+
+TEST(SimTelemetry, SimTrackSegmentCyclesMatchProfilerPerTag)
+{
+    if (!enabled()) GTEST_SKIP() << "telemetry compiled out";
+    hw::PoseidonSim sim;
+    hw::SimTimeline tl;
+    isa::Trace trace = sample_trace();
+    hw::SimResult r = sim.run(trace, &tl);
+
+    Tracer &tr = Tracer::global();
+    tr.start();
+    hw::append_sim_track(tr, tl, sim.config());
+    tr.stop();
+
+    // Summing the basic-op row's event cycles per tag name, in event
+    // order, reproduces the profiler's per-tag attributed cycles
+    // bit-exactly (both walk the same segments in the same order), and
+    // the grand total is SimResult.cycles.
+    Json doc = Json::parse(tr.chrome_trace_json());
+    const Json &evs = doc.at("traceEvents");
+    std::map<std::string, double> tagCycles;
+    double total = 0.0;
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        const Json &e = evs.at(i);
+        if (e.at("ph").as_string() != "X") continue;
+        if (e.at("tid").as_number() != 1.0) continue;
+        double cyc = e.at("args").at("cycles").as_number();
+        tagCycles[e.at("name").as_string()] += cyc;
+        total += cyc;
+    }
+    EXPECT_EQ(total, r.cycles);
+
+    hw::ProfileReport rep = profile(tl, r, sim.config());
+    ASSERT_EQ(tagCycles.size(), rep.tags.size());
+    for (const hw::TagProfile &tp : rep.tags) {
+        auto it = tagCycles.find(isa::to_string(tp.tag));
+        ASSERT_NE(it, tagCycles.end()) << isa::to_string(tp.tag);
+        EXPECT_EQ(it->second, tp.b.cycles) << isa::to_string(tp.tag);
+    }
+}
+
+TEST(SimTelemetry, ProfilerGaugesAgreeWithRecordedKindCycles)
+{
+    if (!enabled()) GTEST_SKIP() << "telemetry compiled out";
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.reset();
+    hw::PoseidonSim sim;
+    hw::SimTimeline tl;
+    // run() invokes record_sim_metrics itself: the registry now holds
+    // the counters of exactly this run.
+    hw::SimResult r = sim.run(sample_trace(), &tl);
+    hw::ProfileReport rep = profile(tl, r, sim.config());
+    rep.export_metrics(reg); // the profiler's gauges
+
+    // Both ends must agree with SimResult.kindCycles bit-exactly —
+    // counters from the simulator's path, gauges from the profiler's.
+    for (int k = 0; k < 8; ++k) {
+        auto kind = static_cast<isa::OpKind>(k);
+        double want = r.kindCycles[static_cast<std::size_t>(k)];
+        EXPECT_EQ(reg.counter_value(std::string("sim.kind_cycles.") +
+                                    isa::to_string(kind)),
+                  want)
+            << isa::to_string(kind);
+        Json g = reg.to_json().at("gauges");
+        EXPECT_EQ(g.at(std::string("sim.util.kind_cycles.") +
+                       isa::to_string(kind))
+                      .as_number(),
+                  want)
+            << isa::to_string(kind);
+    }
+    reg.reset();
+}
+
+// ------------------------------------------------------------- logging
+
+TEST(Logging, ParseLevelReportsRecognition)
+{
+    using poseidon::log::Level;
+    using poseidon::log::parse_level;
+    bool ok = false;
+    EXPECT_EQ(parse_level("DEBUG", Level::WARN, &ok), Level::DEBUG);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parse_level("warning", Level::ERROR, &ok), Level::WARN);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parse_level("off", Level::WARN, &ok), Level::OFF);
+    EXPECT_TRUE(ok);
+
+    // Junk keeps the fallback and says so — the env hook uses this to
+    // warn instead of silently changing the threshold.
+    EXPECT_EQ(parse_level("bogus", Level::WARN, &ok), Level::WARN);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(parse_level("", Level::INFO, &ok), Level::INFO);
+    EXPECT_FALSE(ok);
+    // The 2-arg overload stays junk-tolerant.
+    EXPECT_EQ(parse_level("verbose", Level::WARN), Level::WARN);
 }
 
 TEST(SimTelemetry, TimelineDoesNotChangePricing)
