@@ -1,0 +1,186 @@
+// Closed-loop serving benchmark: sweeps offered load (concurrent
+// closed-loop clients) against fleet size (simulated Poseidon cards)
+// through the multi-tenant serving engine and reports simulated
+// throughput, per-tenant latency percentiles and per-card occupancy.
+//
+// Every number is on the modeled 300 MHz accelerator clock, so results
+// are bit-identical across host machines and POSEIDON_THREADS
+// settings; the host thread pool only shortens wall time.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_harness.h"
+#include "common/table.h"
+#include "isa/compiler.h"
+#include "serve/engine.h"
+
+using namespace poseidon;
+
+namespace {
+
+/// One client request: a keyswitch-bearing op mix at a medium shape —
+/// big enough to exercise every operator, small enough to sweep.
+isa::Trace
+request_trace(unsigned sizeClass)
+{
+    isa::OpShape s;
+    s.n = u64(1) << 13;
+    s.limbs = 8 + 4 * sizeClass; // three request sizes per tenant mix
+    s.dnum = 2;
+    s.K = 4 + 2 * sizeClass;
+    isa::Trace t;
+    isa::emit_cmult(t, s);
+    isa::emit_rotation(t, s);
+    return t;
+}
+
+struct CellResult
+{
+    double throughput = 0.0; ///< completed jobs per simulated second
+    double occupancy = 0.0;
+    double p50 = 0.0; ///< worst tenant p50, simulated us
+    double p99 = 0.0; ///< worst tenant p99, simulated us
+    serve::ServeStats stats;
+};
+
+/// Run `clients` closed-loop clients (each submits its next request
+/// the moment the previous one finishes) for `perClient` requests
+/// against a `cards`-card fleet.
+CellResult
+run_cell(std::size_t cards, std::size_t clients, u64 perClient)
+{
+    serve::ServeConfig cfg;
+    cfg.cards = cards;
+    cfg.exportTelemetry = true;
+    serve::ServingEngine eng(cfg);
+
+    struct Client
+    {
+        std::string tenant;
+        unsigned sizeClass = 0;
+        u64 remaining = 0;
+    };
+    std::vector<Client> cs(clients);
+    for (std::size_t i = 0; i < clients; ++i) {
+        cs[i].tenant = "tenant" + std::to_string(i % 3);
+        cs[i].sizeClass = static_cast<unsigned>(i % 3);
+        cs[i].remaining = perClient;
+    }
+
+    std::function<void(std::size_t, double)> feed =
+        [&](std::size_t i, double arrival) {
+            Client &c = cs[i];
+            if (c.remaining == 0) return;
+            --c.remaining;
+            serve::JobSpec s;
+            s.tenant = c.tenant;
+            s.name = "client" + std::to_string(i);
+            s.trace = request_trace(c.sizeClass);
+            s.arrivalCycle = arrival;
+            s.callback = [&feed, i](const serve::JobResult &r) {
+                feed(i, r.finishCycle);
+            };
+            eng.submit(std::move(s));
+        };
+    for (std::size_t i = 0; i < clients; ++i) feed(i, 0.0);
+    eng.drain();
+
+    CellResult out;
+    out.stats = eng.stats();
+    out.throughput = out.stats.throughput_jobs_per_sec();
+    out.occupancy = out.stats.fleet_occupancy();
+    double toUs = 1e6 / (out.stats.clockGHz * 1e9);
+    for (const auto &[name, t] : out.stats.tenants) {
+        (void)name;
+        out.p50 = std::max(out.p50, t.p50LatencyCycles * toUs);
+        out.p99 = std::max(out.p99, t.p99LatencyCycles * toUs);
+    }
+    return out;
+}
+
+std::string
+fmt(double v, const char *suffix = "")
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffix);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Harness h("serving", argc, argv);
+    const std::vector<std::size_t> kCards = {1, 2, 4};
+    const std::vector<std::size_t> kClients = {2, 8, 32};
+    const u64 kPerClient = 8;
+    h.config("cards", telemetry::Json::parse("[1, 2, 4]"));
+    h.config("clients", telemetry::Json::parse("[2, 8, 32]"));
+    h.config("requests_per_client", telemetry::Json(kPerClient));
+    h.config("tenants", telemetry::Json(3));
+
+    AsciiTable table("Closed-loop serving: offered load x fleet size "
+                    "(simulated time)");
+    table.header({"cards", "clients", "jobs", "throughput (jobs/s)",
+                  "fleet occupancy", "worst p50 (us)",
+                  "worst p99 (us)"});
+
+    // saturated[cards] = throughput at the highest offered load.
+    std::vector<double> saturated(kCards.size(), 0.0);
+    for (std::size_t ci = 0; ci < kCards.size(); ++ci) {
+        for (std::size_t li = 0; li < kClients.size(); ++li) {
+            CellResult r = run_cell(kCards[ci], kClients[li],
+                                    kPerClient);
+            std::string key = "c" + std::to_string(kCards[ci]) +
+                              ".cl" + std::to_string(kClients[li]);
+            h.metric(key + ".throughput_jobs_per_sec", r.throughput);
+            h.metric(key + ".fleet_occupancy", r.occupancy);
+            h.metric(key + ".worst_p50_us", r.p50);
+            h.metric(key + ".worst_p99_us", r.p99);
+            h.metric(key + ".batches",
+                     static_cast<double>(r.stats.batches));
+            table.row({std::to_string(kCards[ci]),
+                       std::to_string(kClients[li]),
+                       std::to_string(r.stats.completed),
+                       fmt(r.throughput), fmt(100.0 * r.occupancy, "%"),
+                       fmt(r.p50), fmt(r.p99)});
+            if (li + 1 == kClients.size()) {
+                saturated[ci] = r.throughput;
+                // Mirror the serve.* aggregates for the saturated
+                // point of each fleet size into the BENCH document.
+                std::string sk = "c" + std::to_string(kCards[ci]);
+                h.metric(sk + ".serve.fleet_occupancy", r.occupancy);
+                h.metric(sk + ".serve.horizon_cycles",
+                         r.stats.horizonCycles);
+                h.metric(sk + ".serve.max_queue_depth",
+                         static_cast<double>(r.stats.maxQueueDepth));
+                for (const auto &[tenant, t] : r.stats.tenants) {
+                    h.metric(sk + ".serve.tenant_p50_cycles." + tenant,
+                             t.p50LatencyCycles);
+                    h.metric(sk + ".serve.tenant_p99_cycles." + tenant,
+                             t.p99LatencyCycles);
+                }
+            }
+        }
+    }
+    table.print();
+
+    double speedup = saturated[0] > 0.0
+                         ? saturated[kCards.size() - 1] / saturated[0]
+                         : 0.0;
+    h.metric("speedup_4c_vs_1c_saturated", speedup);
+    std::printf("\nSaturated throughput speedup, 4 cards vs 1: "
+                "%.2fx\n", speedup);
+
+    // The fleet must actually shard: 4 cards >= 2x one card at
+    // saturating offered load, in simulated time.
+    if (speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: 4-card speedup %.2fx below 2x\n", speedup);
+        return h.finish(1);
+    }
+    return h.finish();
+}

@@ -9,12 +9,14 @@
 // On top of the happy path the demo exercises the service boundary:
 //   1. a corrupted request is answered with a structured error frame
 //      (typed code + message), never a crash;
-//   2. the accelerator model runs the server's workload under HBM
-//      fault injection at a nonzero bit-error rate and reports the
-//      SECDED ECC statistics;
-//   3. a run whose end-to-end integrity guard trips (silent corruption
-//      past ECC) raises poseidon::FaultDetected and is retried a
-//      bounded number of times.
+//   2. the accelerator side runs as a shared service: requests from
+//      several tenants are submitted to the multi-tenant serving
+//      engine (src/serve/), which schedules them over a two-card
+//      fleet — one card with a degraded HBM stack — under the SECDED
+//      fault model;
+//   3. an attempt whose end-to-end integrity guard trips (silent
+//      corruption past ECC) automatically fails over to the healthy
+//      card, bounded by the job's RetryPolicy.
 //
 // Build & run:  ./examples/client_server
 
@@ -30,6 +32,7 @@
 #include "common/logging.h"
 #include "hw/sim.h"
 #include "isa/compiler.h"
+#include "serve/engine.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 
@@ -109,25 +112,6 @@ server_trace(const CkksParams &params)
     shape.limbs -= 1; // rotations run on the rescaled ciphertext
     for (int i = 0; i < 3; ++i) isa::emit_rotation(tr, shape);
     return tr;
-}
-
-/// Run the trace on the fault-injected accelerator model. A silent
-/// corruption (past SECDED) trips the end-to-end integrity guard and
-/// raises FaultDetected — the transient failure the retry loop
-/// absorbs.
-hw::SimResult
-run_on_accelerator(const isa::Trace &tr, double ber, u64 seed)
-{
-    hw::HwConfig cfg = hw::HwConfig::poseidon_u280();
-    cfg.faults.ber = ber;
-    cfg.faults.seed = seed;
-    hw::SimResult r = hw::PoseidonSim(cfg).run(tr);
-    if (r.faults.silent > 0) {
-        POSEIDON_THROW(FaultDetected,
-                       "integrity check failed: " << r.faults.silent
-                       << " word(s) corrupted past ECC");
-    }
-    return r;
 }
 
 void
@@ -234,31 +218,60 @@ main()
     std::printf("truncated request -> [%s]: %s\n",
                 to_string(truncFrame.code), truncFrame.message.c_str());
 
-    // ---- Accelerator run under HBM fault injection ----
-    std::printf("\n-- accelerator fault campaign (BER=5e-4) --\n");
+    // ---- Accelerator side: a shared, scheduled service ----
+    // Requests from three tenants flow through the multi-tenant
+    // serving engine onto a two-card fleet. Card 0's HBM stack is
+    // degraded (high BER, ECC disabled): any attempt it corrupts
+    // fails over to the healthy card 1 automatically, bounded by the
+    // job's RetryPolicy.
+    std::printf("\n-- serving engine: 2-card fleet, card 0 degraded "
+                "(BER=1e-4, no ECC) --\n");
     isa::Trace tr = server_trace(params);
-    const double kBer = 5e-4;
     hw::SimResult clean = hw::PoseidonSim().run(tr);
-    bool served = false;
-    for (u64 attempt = 1; attempt <= 4 && !served; ++attempt) {
-        try {
-            hw::SimResult r =
-                run_on_accelerator(tr, kBer, /*seed=*/attempt + 1);
-            print_fault_stats(r);
-            std::printf("attempt %llu: served in %.0f cycles "
-                        "(+%.0f vs fault-free)\n",
-                        static_cast<unsigned long long>(attempt),
-                        r.cycles, r.cycles - clean.cycles);
-            served = true;
-        } catch (const FaultDetected &e) {
-            std::printf("attempt %llu: %s -> retrying\n",
-                        static_cast<unsigned long long>(attempt),
-                        e.message().c_str());
-        }
+
+    hw::HwConfig degraded = hw::HwConfig::poseidon_u280();
+    degraded.faults.ber = 1e-4;
+    degraded.faults.secded = false;
+    serve::ServeConfig serveCfg;
+    serveCfg.fleet = {degraded, hw::HwConfig::poseidon_u280()};
+    serve::ServingEngine engine(serveCfg);
+
+    std::vector<serve::JobTicket> tickets;
+    for (int i = 0; i < 6; ++i) {
+        serve::JobSpec spec;
+        spec.tenant = "tenant" + std::to_string(i % 3);
+        spec.name = "aggregate" + std::to_string(i);
+        spec.trace = tr;
+        tickets.push_back(engine.submit(std::move(spec)));
     }
-    if (!served) {
-        std::printf("accelerator unavailable after bounded retries\n");
+    engine.drain();
+
+    bool served = true;
+    for (const serve::JobTicket &ticket : tickets) {
+        serve::JobResult r = ticket.result.get();
+        std::printf("job %llu [%s/%s]: %s on card %zu after %llu "
+                    "attempt(s), latency %.0f cycles\n",
+                    static_cast<unsigned long long>(r.id),
+                    r.tenant.c_str(), r.name.c_str(),
+                    serve::to_string(r.state), r.card,
+                    static_cast<unsigned long long>(r.attempts),
+                    r.latency_cycles());
+        if (r.state != serve::JobState::Completed) served = false;
+        else print_fault_stats(r.sim);
     }
+    serve::ServeStats serveStats = engine.stats();
+    std::printf("fleet: %llu completed, %llu fault failovers; "
+                "card occupancies %.0f%% / %.0f%% "
+                "(fault-free run: %.0f cycles)\n",
+                static_cast<unsigned long long>(serveStats.completed),
+                static_cast<unsigned long long>(serveStats.retries),
+                100.0 *
+                    serveStats.cards[0].occupancy(
+                        serveStats.horizonCycles),
+                100.0 *
+                    serveStats.cards[1].occupancy(
+                        serveStats.horizonCycles),
+                clean.cycles);
 
     // ---- Shutdown: expose the service's metrics ----
     std::printf("\n-- metrics (Prometheus exposition) --\n%s",

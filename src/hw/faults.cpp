@@ -8,6 +8,16 @@
 
 namespace poseidon::hw {
 
+u64
+mix_seed(u64 seed, u64 salt)
+{
+    // splitmix64 finalizer over the golden-ratio-spaced combination.
+    u64 z = seed + salt * 0x9E3779B97F4A7C15ULL + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
 FaultStats&
 FaultStats::operator+=(const FaultStats &o)
 {

@@ -33,6 +33,15 @@
 
 namespace poseidon::hw {
 
+/**
+ * Deterministically derive a new PRNG seed from (seed, salt) — one
+ * splitmix64 round over their combination. Used to give every card of
+ * a multi-accelerator fleet, and every retry attempt of a job, an
+ * independent but reproducible fault campaign: same (seed, salt) in,
+ * same derived seed out, and nearby salts decorrelate fully.
+ */
+u64 mix_seed(u64 seed, u64 salt);
+
 /// SECDED classification of one transferred word.
 enum class FaultOutcome {
     None,                 ///< no bit flipped

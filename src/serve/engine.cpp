@@ -1,0 +1,501 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "workloads/workloads.h"
+
+namespace poseidon::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exact quantile of a latency sample (linear-interpolation free:
+/// nearest-rank, which is reproducible and monotone).
+double
+quantile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty()) return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+std::string
+derive_batch_key(const isa::Trace &trace)
+{
+    u64 deg = 0;
+    for (const isa::Instr &in : trace.instrs()) {
+        deg = std::max(deg, in.degree);
+    }
+    return "deg:" + std::to_string(deg);
+}
+
+} // namespace
+
+const char*
+to_string(JobState s)
+{
+    switch (s) {
+      case JobState::Queued: return "Queued";
+      case JobState::Completed: return "Completed";
+      case JobState::Failed: return "Failed";
+      case JobState::Expired: return "Expired";
+    }
+    return "?";
+}
+
+double
+ServeStats::throughput_jobs_per_sec() const
+{
+    if (horizonCycles <= 0.0 || clockGHz <= 0.0) return 0.0;
+    double seconds = horizonCycles / (clockGHz * 1e9);
+    return static_cast<double>(completed) / seconds;
+}
+
+double
+ServeStats::fleet_occupancy() const
+{
+    if (cards.empty() || horizonCycles <= 0.0) return 0.0;
+    return busyCycles /
+           (horizonCycles * static_cast<double>(cards.size()));
+}
+
+telemetry::Json
+ServeStats::to_json() const
+{
+    using telemetry::Json;
+    Json j = Json::object();
+    j.set("submitted", Json(submitted));
+    j.set("completed", Json(completed));
+    j.set("failed", Json(failed));
+    j.set("expired", Json(expired));
+    j.set("retries", Json(retries));
+    j.set("batches", Json(batches));
+    j.set("max_queue_depth", Json(maxQueueDepth));
+    j.set("horizon_cycles", Json(horizonCycles));
+    j.set("busy_cycles", Json(busyCycles));
+    j.set("throughput_jobs_per_sec", Json(throughput_jobs_per_sec()));
+    j.set("fleet_occupancy", Json(fleet_occupancy()));
+    Json jt = Json::object();
+    for (const auto &[name, t] : tenants) {
+        Json one = Json::object();
+        one.set("completed", Json(t.completed));
+        one.set("failed", Json(t.failed));
+        one.set("expired", Json(t.expired));
+        one.set("attained_cycles", Json(t.attainedCycles));
+        one.set("p50_latency_cycles", Json(t.p50LatencyCycles));
+        one.set("p99_latency_cycles", Json(t.p99LatencyCycles));
+        jt.set(name, std::move(one));
+    }
+    j.set("tenants", std::move(jt));
+    Json jc = Json::array();
+    for (const CardStats &c : cards) {
+        Json one = Json::object();
+        one.set("busy_cycles", Json(c.busyCycles));
+        one.set("occupancy", Json(c.occupancy(horizonCycles)));
+        one.set("jobs", Json(c.jobs));
+        one.set("batches", Json(c.batches));
+        one.set("failed_attempts", Json(c.failedAttempts));
+        jc.push_back(std::move(one));
+    }
+    j.set("cards", std::move(jc));
+    return j;
+}
+
+void
+ServeStats::export_metrics(telemetry::MetricsRegistry &reg) const
+{
+    reg.gauge("serve.cards").set(static_cast<double>(cards.size()));
+    reg.gauge("serve.queue_depth_max")
+        .set(static_cast<double>(maxQueueDepth));
+    reg.gauge("serve.horizon_cycles").set(horizonCycles);
+    reg.gauge("serve.throughput_jobs_per_sec")
+        .set(throughput_jobs_per_sec());
+    reg.gauge("serve.fleet_occupancy").set(fleet_occupancy());
+    for (std::size_t i = 0; i < cards.size(); ++i) {
+        reg.gauge("serve.card_occupancy." + std::to_string(i))
+            .set(cards[i].occupancy(horizonCycles));
+    }
+    for (const auto &[name, t] : tenants) {
+        reg.gauge("serve.tenant_p50_cycles." + name)
+            .set(t.p50LatencyCycles);
+        reg.gauge("serve.tenant_p99_cycles." + name)
+            .set(t.p99LatencyCycles);
+    }
+}
+
+ServingEngine::ServingEngine(ServeConfig cfg)
+    : cfg_(std::move(cfg)),
+      shards_(cfg_.fleet.empty()
+                  ? ShardManager(cfg_.cards, cfg_.card)
+                  : ShardManager(cfg_.fleet)),
+      sched_(cfg_.maxBatch)
+{
+    POSEIDON_REQUIRE(cfg_.dispatchCycles >= 0.0,
+                     "ServingEngine: negative dispatch overhead");
+}
+
+ServingEngine::~ServingEngine() = default;
+
+JobTicket
+ServingEngine::submit(JobSpec spec)
+{
+    if (!spec.workload.empty()) {
+        workloads::Workload wl = workloads::find_workload(spec.workload);
+        spec.trace = std::move(wl.trace);
+        if (spec.name.empty()) spec.name = wl.name;
+    }
+    POSEIDON_REQUIRE(!spec.trace.empty(),
+                     "ServingEngine::submit: job \"" << spec.name
+                     << "\" carries neither a trace nor a workload");
+    POSEIDON_REQUIRE(!spec.tenant.empty(),
+                     "ServingEngine::submit: empty tenant");
+    spec.trace.validate(); // reject malformed programs at the boundary
+    if (spec.batchKey.empty()) {
+        spec.batchKey = derive_batch_key(spec.trace);
+    }
+
+    Pending p;
+    p.qj.spec = std::move(spec);
+    JobTicket ticket;
+    ticket.result = p.promise.get_future().share();
+
+    std::lock_guard<std::mutex> lk(mu_);
+    p.qj.id = nextId_++;
+    ticket.id = p.qj.id;
+    ++submitted_;
+    submissions_.push_back(std::move(p));
+    if (cfg_.exportTelemetry) telemetry::count("serve.jobs.submitted");
+    return ticket;
+}
+
+std::size_t
+ServingEngine::queue_depth() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<std::size_t>(submitted_ - completed_ - failed_ -
+                                    expired_);
+}
+
+void
+ServingEngine::finish_job(QueuedJob &&qj, JobResult r)
+{
+    std::promise<JobResult> promise;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = promises_.find(qj.id);
+        POSEIDON_CHECK(it != promises_.end(),
+                       "job " << qj.id << " finished twice");
+        promise = std::move(it->second);
+        promises_.erase(it);
+
+        TenantStats &t = tenants_[r.tenant];
+        switch (r.state) {
+          case JobState::Completed:
+            ++completed_;
+            ++t.completed;
+            latencies_[r.tenant].push_back(r.latency_cycles());
+            break;
+          case JobState::Failed:
+            ++failed_;
+            ++t.failed;
+            break;
+          case JobState::Expired:
+            ++expired_;
+            ++t.expired;
+            break;
+          case JobState::Queued:
+            POSEIDON_CHECK(false, "finish_job with non-terminal state");
+        }
+        horizon_ = std::max(horizon_, r.finishCycle);
+    }
+    if (cfg_.exportTelemetry && telemetry::enabled()) {
+        double clock = shards_.card(0).config().clockGHz;
+        switch (r.state) {
+          case JobState::Completed: {
+            telemetry::count("serve.jobs.completed");
+            double us = r.latency_cycles() / (clock * 1e9) * 1e6;
+            telemetry::MetricsRegistry::global()
+                .histogram("serve.tenant_latency_us." + r.tenant)
+                .observe(us);
+            break;
+          }
+          case JobState::Failed:
+            telemetry::count("serve.jobs.failed");
+            break;
+          case JobState::Expired:
+            telemetry::count("serve.jobs.expired");
+            break;
+          default:
+            break;
+        }
+    }
+    // Fulfill outside the lock: the callback may re-enter submit().
+    std::function<void(const JobResult &)> cb =
+        std::move(qj.spec.callback);
+    promise.set_value(r);
+    if (cb) cb(r);
+}
+
+void
+ServingEngine::refresh_gauges()
+{
+    if (!cfg_.exportTelemetry || !telemetry::enabled()) return;
+    telemetry::gauge_set("serve.queue_depth",
+                         static_cast<double>(sched_.depth()));
+    telemetry::gauge_set("serve.cards",
+                         static_cast<double>(shards_.size()));
+}
+
+void
+ServingEngine::drain()
+{
+    /// One card's work for the current round.
+    struct Assignment
+    {
+        std::size_t card = 0;
+        double startCycle = 0.0;
+        std::vector<QueuedJob> batch;
+        std::vector<hw::SimResult> results; // parallels batch
+    };
+
+    for (;;) {
+        // ---- Ingest everything submitted since the last round (the
+        // initial burst, or follow-ups from completion callbacks).
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            for (Pending &p : submissions_) {
+                promises_.emplace(p.qj.id, std::move(p.promise));
+                sched_.enqueue(std::move(p.qj));
+            }
+            submissions_.clear();
+            maxQueueDepth_ = std::max(
+                maxQueueDepth_, static_cast<u64>(sched_.depth()));
+        }
+        if (sched_.empty()) break;
+
+        // ---- The round time T: the earliest simulated cycle any
+        // dispatch can start. All decisions below read queue/clock
+        // state at T only, so the schedule is host-timing-free.
+        double t0 = kInf;
+        for (std::size_t c = 0; c < shards_.size(); ++c) {
+            t0 = std::min(t0, shards_.stats(c).freeAtCycle);
+        }
+        double tArr = sched_.earliest_head_arrival();
+        double T = std::max(t0, tArr);
+        POSEIDON_CHECK(std::isfinite(T), "serving clock diverged");
+
+        // ---- Offer T to every card already free at T, in
+        // (freeAt, index) order.
+        std::vector<std::size_t> order;
+        for (std::size_t c = 0; c < shards_.size(); ++c) {
+            if (shards_.stats(c).freeAtCycle <= T) order.push_back(c);
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return shards_.stats(a).freeAtCycle <
+                                    shards_.stats(b).freeAtCycle;
+                         });
+
+        std::vector<ExpiredJob> expired;
+        std::vector<Assignment> round;
+        for (std::size_t c : order) {
+            std::vector<QueuedJob> batch =
+                sched_.pick_batch(c, shards_.size(), T, expired);
+            if (batch.empty()) continue;
+            Assignment a;
+            a.card = c;
+            a.startCycle = T;
+            a.batch = std::move(batch);
+            a.results.resize(a.batch.size());
+            round.push_back(std::move(a));
+        }
+
+        // Dispatch-time deadline misses terminate before any
+        // completion of this round (they happen at T).
+        for (ExpiredJob &e : expired) {
+            JobResult r;
+            r.id = e.job.id;
+            r.state = JobState::Expired;
+            r.tenant = e.job.spec.tenant;
+            r.name = e.job.spec.name;
+            r.attempts = e.job.attempt;
+            r.arrivalCycle = e.job.spec.arrivalCycle;
+            r.finishCycle = e.expiredAtCycle;
+            std::ostringstream msg;
+            msg << "deadline " << e.job.spec.deadlineCycle
+                << " passed before dispatch at cycle "
+                << e.expiredAtCycle;
+            r.error = msg.str();
+            finish_job(std::move(e.job), std::move(r));
+        }
+
+        if (round.empty()) {
+            if (sched_.empty()) continue; // expiries emptied the queue
+            // Every free card is excluded from every eligible head
+            // (single-card exclusion => a busy card exists). Idle the
+            // free cards forward to the next card-release event.
+            double tNext = kInf;
+            for (std::size_t c = 0; c < shards_.size(); ++c) {
+                double f = shards_.stats(c).freeAtCycle;
+                if (f > T) tNext = std::min(tNext, f);
+            }
+            POSEIDON_CHECK(std::isfinite(tNext),
+                           "serving engine stalled at cycle " << T);
+            for (std::size_t c : order) {
+                shards_.stats(c).freeAtCycle = tNext;
+            }
+            continue;
+        }
+
+        // ---- Price every attempt of the round concurrently on the
+        // host pool. Pricing is a pure function of
+        // (card, trace, job, attempt), so chunk order cannot change
+        // any modeled number.
+        std::vector<std::pair<std::size_t, std::size_t>> flat;
+        for (std::size_t ai = 0; ai < round.size(); ++ai) {
+            for (std::size_t ji = 0; ji < round[ai].batch.size(); ++ji) {
+                flat.emplace_back(ai, ji);
+            }
+        }
+        parallel::parallel_for(
+            0, flat.size(), 1,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t f = lo; f < hi; ++f) {
+                    auto [ai, ji] = flat[f];
+                    Assignment &a = round[ai];
+                    const QueuedJob &qj = a.batch[ji];
+                    a.results[ji] = shards_.price(
+                        a.card, qj.spec.trace, qj.id, qj.attempt);
+                }
+            },
+            "serve.price");
+
+        // ---- Completion bookkeeping, in card order (deterministic).
+        for (Assignment &a : round) {
+            CardStats &cs = shards_.stats(a.card);
+            double cum = a.startCycle + cfg_.dispatchCycles;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++batches_;
+            }
+            ++cs.batches;
+            for (std::size_t ji = 0; ji < a.batch.size(); ++ji) {
+                QueuedJob &qj = a.batch[ji];
+                hw::SimResult &sim = a.results[ji];
+                double start = cum;
+                cum += sim.cycles;
+                ++cs.jobs;
+                sched_.charge(qj.spec.tenant, sim.cycles);
+                {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    tenants_[qj.spec.tenant].attainedCycles +=
+                        sim.cycles;
+                }
+
+                u64 attemptsUsed = qj.attempt + 1;
+                bool silent = sim.faults.silent > 0;
+                bool overBudget = sim.faults.retryCycles >
+                                  qj.spec.retry.retryCycleBudget;
+                if (silent || overBudget) {
+                    ++cs.failedAttempts;
+                    if (attemptsUsed < qj.spec.retry.maxAttempts) {
+                        // Fail over: requeue against a different card
+                        // (same card only when the fleet has one).
+                        qj.attempt = attemptsUsed;
+                        qj.excludeCard = a.card;
+                        qj.spec.arrivalCycle = cum;
+                        {
+                            std::lock_guard<std::mutex> lk(mu_);
+                            ++retries_;
+                        }
+                        if (cfg_.exportTelemetry) {
+                            telemetry::count("serve.jobs.retried");
+                        }
+                        sched_.enqueue(std::move(qj));
+                        continue;
+                    }
+                    JobResult r;
+                    r.id = qj.id;
+                    r.state = JobState::Failed;
+                    r.tenant = qj.spec.tenant;
+                    r.name = qj.spec.name;
+                    r.card = a.card;
+                    r.attempts = attemptsUsed;
+                    r.arrivalCycle = qj.spec.arrivalCycle;
+                    r.startCycle = start;
+                    r.finishCycle = cum;
+                    std::ostringstream msg;
+                    msg << (silent ? "silent corruption past ECC"
+                                   : "ECC retry budget exceeded")
+                        << " on card " << a.card << " (attempt "
+                        << attemptsUsed << "/"
+                        << qj.spec.retry.maxAttempts << ")";
+                    r.error = msg.str();
+                    finish_job(std::move(qj), std::move(r));
+                    continue;
+                }
+
+                JobResult r;
+                r.id = qj.id;
+                r.state = JobState::Completed;
+                r.tenant = qj.spec.tenant;
+                r.name = qj.spec.name;
+                r.card = a.card;
+                r.attempts = attemptsUsed;
+                r.arrivalCycle = qj.spec.arrivalCycle;
+                r.startCycle = start;
+                r.finishCycle = cum;
+                r.sim = std::move(sim);
+                finish_job(std::move(qj), std::move(r));
+            }
+            cs.busyCycles += cum - a.startCycle;
+            cs.freeAtCycle = cum;
+        }
+        refresh_gauges();
+    }
+
+    refresh_gauges();
+    if (cfg_.exportTelemetry && telemetry::enabled()) {
+        stats().export_metrics(telemetry::MetricsRegistry::global());
+    }
+}
+
+ServeStats
+ServingEngine::stats() const
+{
+    ServeStats s;
+    std::lock_guard<std::mutex> lk(mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.expired = expired_;
+    s.retries = retries_;
+    s.batches = batches_;
+    s.maxQueueDepth = maxQueueDepth_;
+    s.horizonCycles = horizon_;
+    s.clockGHz = shards_.card(0).config().clockGHz;
+    s.tenants = tenants_;
+    for (auto &[tenant, t] : s.tenants) {
+        auto it = latencies_.find(tenant);
+        if (it != latencies_.end()) {
+            t.p50LatencyCycles = quantile(it->second, 0.50);
+            t.p99LatencyCycles = quantile(it->second, 0.99);
+        }
+    }
+    s.cards = shards_.stats();
+    for (const CardStats &c : s.cards) s.busyCycles += c.busyCycles;
+    return s;
+}
+
+} // namespace poseidon::serve

@@ -1,0 +1,207 @@
+#ifndef POSEIDON_SERVE_ENGINE_H_
+#define POSEIDON_SERVE_ENGINE_H_
+
+/**
+ * @file
+ * The multi-accelerator serving engine.
+ *
+ * ServingEngine turns the single-caller, single-card simulator into a
+ * shared, scheduled service: clients submit() CKKS jobs (named
+ * workloads or compiled ISA programs) from any thread and receive a
+ * JobTicket (job id + shared future); drain() runs the fleet-wide
+ * discrete-event simulation to completion, fulfilling futures and
+ * firing completion callbacks as jobs finish.
+ *
+ * **Execution model.** The engine advances a simulated fleet clock in
+ * rounds. Each round it walks the cards in earliest-free order, asks
+ * the Scheduler (priority -> per-tenant fairness -> FIFO, with
+ * compatible-job batching) for one batch per idle card, then prices
+ * all dispatched batches concurrently on the host thread pool
+ * (common/parallel.h) — pricing is pure, so host parallelism is free
+ * of modeled-time effects. Completion bookkeeping then runs in card
+ * order. Because every decision reads only simulated-clock state and
+ * pricing is deterministic per (card, job, attempt), the full
+ * schedule, every latency, and every aggregate statistic are
+ * bit-identical at every host thread count.
+ *
+ * **Fault failover.** Jobs run under the PR-1 SECDED fault model of
+ * their card. An attempt whose run leaks a silent corruption or
+ * overruns its RetryPolicy::retryCycleBudget in ECC replays has
+ * failed: the attempt's full duration still occupies the card (and is
+ * charged to the tenant), and the job is requeued with the failing
+ * card excluded (fleet > 1) until maxAttempts is exhausted.
+ *
+ * **Telemetry.** With exportTelemetry on, drain() maintains
+ * serve.queue_depth / serve.cards gauges, serve.jobs.* counters,
+ * per-tenant simulated-latency histograms
+ * (serve.tenant_latency_us.<tenant>) and per-card occupancy gauges
+ * (serve.card_occupancy.<i>); stats() returns the same aggregates —
+ * including exact per-tenant p50/p99 — as a struct, with to_json()
+ * and export_metrics() surfaces.
+ */
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hw/config.h"
+#include "serve/job.h"
+#include "serve/scheduler.h"
+#include "serve/shard.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace poseidon::serve {
+
+/// Knobs of one engine instance.
+struct ServeConfig
+{
+    /// Fleet size (homogeneous copies of `card`); ignored when
+    /// `fleet` is non-empty.
+    std::size_t cards = 1;
+
+    /// Base per-card accelerator model. Each card derives its own
+    /// fault seed from it (hw::mix_seed), so equal configs still run
+    /// independent ECC campaigns.
+    hw::HwConfig card = hw::HwConfig::poseidon_u280();
+
+    /// Optional heterogeneous fleet (one config per card).
+    std::vector<hw::HwConfig> fleet;
+
+    /// Jobs coalesced per dispatch (see Scheduler; 1 = no batching).
+    std::size_t maxBatch = 4;
+
+    /// Fixed cycles charged once per dispatch (host->card program +
+    /// key upload); batching amortizes exactly this term.
+    double dispatchCycles = 20000.0;
+
+    /// Publish serve.* metrics into the global MetricsRegistry.
+    bool exportTelemetry = true;
+};
+
+/// Aggregate per-tenant outcome (simulated time).
+struct TenantStats
+{
+    u64 completed = 0;
+    u64 failed = 0;
+    u64 expired = 0;
+    double attainedCycles = 0.0; ///< card time consumed, incl. failures
+    double p50LatencyCycles = 0.0;
+    double p99LatencyCycles = 0.0;
+};
+
+/// Fleet-wide serving statistics, all on the simulated clock.
+struct ServeStats
+{
+    u64 submitted = 0;
+    u64 completed = 0;
+    u64 failed = 0;
+    u64 expired = 0;
+    u64 retries = 0;      ///< fault-triggered re-executions
+    u64 batches = 0;      ///< dispatches issued
+    u64 maxQueueDepth = 0;
+
+    /// Latest job finish (the serving horizon / makespan).
+    double horizonCycles = 0.0;
+    /// Sum of all card busy cycles (failed attempts included).
+    double busyCycles = 0.0;
+    /// Modeled clock the horizon is measured on (from the base card).
+    double clockGHz = 0.0;
+
+    std::map<std::string, TenantStats> tenants;
+    std::vector<CardStats> cards;
+
+    /// Completed jobs per simulated second over the horizon.
+    double throughput_jobs_per_sec() const;
+    /// Mean card occupancy over the horizon.
+    double fleet_occupancy() const;
+
+    /// {"submitted": ..., "tenants": {...}, "cards": [...]}.
+    telemetry::Json to_json() const;
+
+    /// Publish the serve.* gauges/counters into `reg`.
+    void export_metrics(telemetry::MetricsRegistry &reg) const;
+};
+
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(ServeConfig cfg = ServeConfig{});
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine&) = delete;
+    ServingEngine& operator=(const ServingEngine&) = delete;
+
+    const ServeConfig& config() const { return cfg_; }
+    const ShardManager& shards() const { return shards_; }
+
+    /**
+     * Accept a job. Non-blocking and thread-safe; a named workload is
+     * resolved (and an empty batchKey derived) immediately, so an
+     * unknown name or empty trace throws InvalidArgument here, never
+     * inside drain(). The returned future becomes ready during a
+     * later drain() on whichever thread drains.
+     */
+    JobTicket submit(JobSpec spec);
+
+    /**
+     * Run the discrete-event simulation until every accepted job has
+     * reached a terminal state, fulfilling futures and firing
+     * callbacks on this thread. Callbacks may submit() follow-up jobs
+     * (closed-loop clients); drain() keeps going until the system is
+     * empty. Not reentrant; call from one thread at a time.
+     */
+    void drain();
+
+    /// Queue depth right now (accepted, not yet terminal).
+    std::size_t queue_depth() const;
+
+    /// Aggregate statistics over everything served so far.
+    ServeStats stats() const;
+
+  private:
+    /// A submitted job awaiting ingestion by drain().
+    struct Pending
+    {
+        QueuedJob qj;
+        std::promise<JobResult> promise;
+    };
+
+    /// Fulfill one terminal job: update aggregates under mu_, then
+    /// set the promise and fire the callback lock-free (callbacks may
+    /// re-enter submit()).
+    void finish_job(QueuedJob &&qj, JobResult r);
+    void refresh_gauges();
+
+    ServeConfig cfg_;
+    ShardManager shards_;
+    Scheduler sched_;
+
+    /// Guards submissions_/nextId_ and the aggregate counters below
+    /// (stats() and queue_depth() read them from any thread).
+    mutable std::mutex mu_;
+    std::vector<Pending> submissions_;
+    JobId nextId_ = 1;
+
+    std::map<JobId, std::promise<JobResult>> promises_;
+
+    double horizon_ = 0.0;
+    u64 submitted_ = 0;
+    u64 completed_ = 0;
+    u64 failed_ = 0;
+    u64 expired_ = 0;
+    u64 retries_ = 0;
+    u64 batches_ = 0;
+    u64 maxQueueDepth_ = 0;
+    std::map<std::string, TenantStats> tenants_;
+    /// Per-tenant completed-job latencies (simulated cycles) backing
+    /// the exact p50/p99 quantiles in stats().
+    std::map<std::string, std::vector<double>> latencies_;
+};
+
+} // namespace poseidon::serve
+
+#endif // POSEIDON_SERVE_ENGINE_H_

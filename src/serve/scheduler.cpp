@@ -1,0 +1,109 @@
+#include "serve/scheduler.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace poseidon::serve {
+
+Scheduler::Scheduler(std::size_t maxBatch)
+    : maxBatch_(maxBatch)
+{
+    POSEIDON_REQUIRE(maxBatch_ >= 1,
+                     "Scheduler: maxBatch must be >= 1");
+}
+
+void
+Scheduler::enqueue(QueuedJob job)
+{
+    tenants_[job.spec.tenant].push_back(std::move(job));
+    ++queued_;
+}
+
+double
+Scheduler::earliest_head_arrival() const
+{
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const auto &[tenant, q] : tenants_) {
+        if (!q.empty()) {
+            earliest = std::min(earliest, q.front().spec.arrivalCycle);
+        }
+    }
+    return earliest;
+}
+
+const QueuedJob*
+Scheduler::live_head(std::deque<QueuedJob> &q, double now,
+                     std::vector<ExpiredJob> &expired)
+{
+    while (!q.empty()) {
+        QueuedJob &head = q.front();
+        if (head.spec.arrivalCycle > now) return nullptr;
+        if (head.spec.deadlineCycle < now) {
+            expired.push_back(ExpiredJob{std::move(head), now});
+            q.pop_front();
+            --queued_;
+            continue;
+        }
+        return &head;
+    }
+    return nullptr;
+}
+
+std::vector<QueuedJob>
+Scheduler::pick_batch(std::size_t card, std::size_t fleetSize, double now,
+                      std::vector<ExpiredJob> &expired)
+{
+    // Choose the winning tenant: among arrived, non-excluded heads,
+    // max priority, then least attained service, then tenant name
+    // (map order) — all simulated-clock state, fully deterministic.
+    std::map<std::string, std::deque<QueuedJob>>::iterator best =
+        tenants_.end();
+    int bestPrio = 0;
+    double bestAttained = 0.0;
+    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+        const QueuedJob *head = live_head(it->second, now, expired);
+        if (!head) continue;
+        if (fleetSize > 1 && head->excludeCard == card) continue;
+        int prio = head->spec.priority;
+        double att = attained_[it->first];
+        if (best == tenants_.end() || prio > bestPrio ||
+            (prio == bestPrio && att < bestAttained)) {
+            best = it;
+            bestPrio = prio;
+            bestAttained = att;
+        }
+    }
+    if (best == tenants_.end()) return {};
+
+    std::deque<QueuedJob> &q = best->second;
+    std::vector<QueuedJob> batch;
+    batch.push_back(std::move(q.front()));
+    q.pop_front();
+    --queued_;
+
+    // Extend with compatible followers from the same tenant queue.
+    // (By value: growing `batch` reallocates and would dangle a
+    // reference into it.)
+    const std::string key = batch.front().spec.batchKey;
+    while (batch.size() < maxBatch_ && !q.empty()) {
+        const QueuedJob &next = q.front();
+        if (next.spec.arrivalCycle > now) break;
+        if (next.spec.priority != bestPrio) break;
+        if (next.spec.batchKey != key) break;
+        if (fleetSize > 1 && next.excludeCard == card) break;
+        if (next.spec.deadlineCycle < now) break; // let live_head expire it
+        batch.push_back(std::move(q.front()));
+        q.pop_front();
+        --queued_;
+    }
+    return batch;
+}
+
+void
+Scheduler::charge(const std::string &tenant, double cycles)
+{
+    attained_[tenant] += cycles;
+}
+
+} // namespace poseidon::serve

@@ -1,0 +1,121 @@
+#ifndef POSEIDON_SERVE_SCHEDULER_H_
+#define POSEIDON_SERVE_SCHEDULER_H_
+
+/**
+ * @file
+ * Queueing policy of the serving engine: priority classes, per-tenant
+ * fairness, and compatible-job batching.
+ *
+ * The scheduler holds one FIFO queue per tenant and makes every
+ * decision from simulated-clock state only, so a schedule is a pure
+ * function of the submitted job set — never of host timing. Dispatch
+ * policy, in order:
+ *
+ *  1. **Priority**: among jobs that have arrived (arrivalCycle <= now)
+ *     and are not excluded from the asking card, the highest
+ *     JobSpec::priority wins, across all tenants.
+ *  2. **Fairness**: within a priority class, the tenant with the least
+ *     attained service (simulated cycles consumed so far, including
+ *     failed attempts) is served first; ties break on the tenant name
+ *     so the order is total and reproducible.
+ *  3. **FIFO**: within a tenant, jobs leave in submission order
+ *     (head-of-line; a job is only expired or skipped when it is at
+ *     the head).
+ *
+ * **Deadlines** are dispatch-time admission: when the head job's
+ * deadlineCycle lies before `now`, it is expired and reported instead
+ * of dispatched (jobs behind it are not scanned — they expire when
+ * they reach the head).
+ *
+ * **Batching**: after choosing a head job, the scheduler extends the
+ * dispatch with the next jobs of the *same tenant queue* while they
+ * share the head's batchKey and priority, have arrived, and the batch
+ * is under maxBatch. A batch runs back-to-back on one card and pays
+ * the per-dispatch overhead once — the modeled benefit of coalescing
+ * key/twiddle uploads. Batching trades fairness granularity for that
+ * amortization; maxBatch = 1 restores strict per-job fairness.
+ */
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace poseidon::serve {
+
+/// A job queued inside the scheduler (spec plus engine bookkeeping).
+struct QueuedJob
+{
+    JobId id = 0;
+    JobSpec spec;
+    u64 attempt = 0; ///< attempts already consumed (0 = fresh)
+    /// Card the previous attempt faulted on (failover excludes it
+    /// while the fleet has another card); -1 = none.
+    std::size_t excludeCard = static_cast<std::size_t>(-1);
+};
+
+/// Head-of-line jobs the scheduler expired during a pick.
+struct ExpiredJob
+{
+    QueuedJob job;
+    double expiredAtCycle = 0.0;
+};
+
+class Scheduler
+{
+  public:
+    /// `maxBatch` >= 1: jobs coalesced per dispatch.
+    explicit Scheduler(std::size_t maxBatch = 4);
+
+    void enqueue(QueuedJob job);
+
+    bool empty() const { return queued_ == 0; }
+    std::size_t depth() const { return queued_; }
+
+    /// Earliest arrivalCycle over the *head* job of every tenant
+    /// queue (infinity if empty). Heads are the only dispatchable
+    /// jobs, so this is the next time the fleet clock can make
+    /// progress when nothing has arrived yet.
+    double earliest_head_arrival() const;
+
+    /**
+     * Pick the next batch for card `card` at simulated time `now`.
+     * Expired head jobs encountered while picking are appended to
+     * `expired` (already dequeued). Returns an empty vector when no
+     * arrived, non-excluded job exists. `fleetSize` > 1 enables
+     * exclusion; with a single card a failed-over job may re-run on
+     * the same card (there is nowhere else to go).
+     */
+    std::vector<QueuedJob> pick_batch(std::size_t card,
+                                      std::size_t fleetSize, double now,
+                                      std::vector<ExpiredJob> &expired);
+
+    /// Charge `cycles` of attained service to `tenant` (fairness
+    /// accounting; includes failed attempts — they consumed the card).
+    void charge(const std::string &tenant, double cycles);
+
+    /// Attained service per tenant, in simulated cycles.
+    const std::map<std::string, double>& attained() const
+    {
+        return attained_;
+    }
+
+  private:
+    /// Drop expired heads of `q`; returns the surviving head or null.
+    const QueuedJob* live_head(std::deque<QueuedJob> &q, double now,
+                               std::vector<ExpiredJob> &expired);
+
+    std::size_t maxBatch_;
+    std::size_t queued_ = 0;
+    /// std::map: iteration in tenant-name order keeps every scan
+    /// deterministic.
+    std::map<std::string, std::deque<QueuedJob>> tenants_;
+    std::map<std::string, double> attained_;
+};
+
+} // namespace poseidon::serve
+
+#endif // POSEIDON_SERVE_SCHEDULER_H_

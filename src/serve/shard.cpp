@@ -1,0 +1,61 @@
+#include "serve/shard.h"
+
+#include "common/check.h"
+#include "hw/faults.h"
+
+namespace poseidon::serve {
+
+namespace {
+
+std::vector<hw::HwConfig>
+replicate(std::size_t cards, const hw::HwConfig &base)
+{
+    std::vector<hw::HwConfig> cfgs(cards, base);
+    return cfgs;
+}
+
+} // namespace
+
+ShardManager::ShardManager(std::size_t cards, const hw::HwConfig &base)
+    : ShardManager(replicate(cards, base))
+{
+}
+
+ShardManager::ShardManager(std::vector<hw::HwConfig> cards)
+{
+    POSEIDON_REQUIRE(!cards.empty(),
+                     "ShardManager: the fleet needs at least one card");
+    sims_.reserve(cards.size());
+    for (std::size_t i = 0; i < cards.size(); ++i) {
+        hw::HwConfig cfg = cards[i];
+        cfg.faults.seed = hw::mix_seed(cfg.faults.seed, i);
+        sims_.emplace_back(cfg);
+    }
+    stats_.resize(sims_.size());
+}
+
+const hw::PoseidonSim&
+ShardManager::card(std::size_t i) const
+{
+    POSEIDON_REQUIRE(i < sims_.size(),
+                     "ShardManager: card " << i << " out of range (fleet "
+                                           << sims_.size() << ")");
+    return sims_[i];
+}
+
+hw::SimResult
+ShardManager::price(std::size_t i, const isa::Trace &trace, JobId job,
+                    u64 attempt) const
+{
+    const hw::PoseidonSim &base = card(i);
+    if (base.config().faults.ber <= 0.0) {
+        // Reliable memory: the seed is never consulted, so the card's
+        // simulator can run the trace directly.
+        return base.run(trace);
+    }
+    hw::HwConfig cfg = base.config();
+    cfg.faults.seed = hw::mix_seed(cfg.faults.seed, (job << 8) ^ attempt);
+    return hw::PoseidonSim(cfg).run(trace);
+}
+
+} // namespace poseidon::serve

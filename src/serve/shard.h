@@ -1,0 +1,82 @@
+#ifndef POSEIDON_SERVE_SHARD_H_
+#define POSEIDON_SERVE_SHARD_H_
+
+/**
+ * @file
+ * The card fleet: N independent simulated Poseidon accelerators.
+ *
+ * Each card owns its own PoseidonSim instance — its own HwConfig,
+ * scratchpad/HBM model and, crucially, its own fault-injection seed,
+ * derived deterministically from the base config so two cards never
+ * replay the same ECC campaign. Pricing a job on a card is a *pure
+ * function* of (card config, trace, job id, attempt): the per-attempt
+ * fault seed is re-derived with hw::mix_seed on every run, so attempts
+ * are independent of dispatch order and the engine may price batches
+ * for different cards concurrently on the host thread pool without
+ * changing any modeled number.
+ *
+ * The fleet may be heterogeneous: construct with an explicit config
+ * per card (e.g. one card with a degraded HBM stack or a higher BER).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/sim.h"
+#include "isa/trace.h"
+#include "serve/job.h"
+
+namespace poseidon::serve {
+
+/// Cumulative accounting for one card (all in simulated cycles).
+struct CardStats
+{
+    double busyCycles = 0.0;    ///< cycles spent executing batches
+    double freeAtCycle = 0.0;   ///< fleet-clock time the card idles from
+    u64 jobs = 0;               ///< job attempts executed (incl. failed)
+    u64 batches = 0;            ///< dispatches received
+    u64 failedAttempts = 0;     ///< attempts that tripped the fault guard
+
+    /// busy / horizon share (0 when the horizon is empty).
+    double occupancy(double horizonCycles) const
+    {
+        return horizonCycles > 0.0 ? busyCycles / horizonCycles : 0.0;
+    }
+};
+
+/// Owns the per-card simulators and their cumulative statistics.
+class ShardManager
+{
+  public:
+    /// Homogeneous fleet: `cards` copies of `base`, each with a
+    /// per-card fault seed mixed from base.faults.seed.
+    ShardManager(std::size_t cards, const hw::HwConfig &base);
+
+    /// Heterogeneous fleet: one explicit config per card (fault seeds
+    /// are still re-mixed per card so equal configs stay independent).
+    explicit ShardManager(std::vector<hw::HwConfig> cards);
+
+    std::size_t size() const { return sims_.size(); }
+
+    /// The card's simulator (its config carries the per-card seed).
+    const hw::PoseidonSim& card(std::size_t i) const;
+
+    /// Price one attempt of one job on card `i`. Pure: the fault seed
+    /// used is mix(cardSeed, jobId, attempt), so re-running the same
+    /// (i, trace, jobId, attempt) tuple reproduces the result exactly,
+    /// and concurrent calls for different tuples are safe.
+    hw::SimResult price(std::size_t i, const isa::Trace &trace,
+                        JobId = 0, u64 attempt = 0) const;
+
+    /// Mutable per-card accounting (engine-maintained).
+    CardStats& stats(std::size_t i) { return stats_[i]; }
+    const std::vector<CardStats>& stats() const { return stats_; }
+
+  private:
+    std::vector<hw::PoseidonSim> sims_;
+    std::vector<CardStats> stats_;
+};
+
+} // namespace poseidon::serve
+
+#endif // POSEIDON_SERVE_SHARD_H_

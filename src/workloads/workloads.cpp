@@ -1,7 +1,9 @@
 #include "workloads/workloads.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
@@ -244,6 +246,63 @@ canonical(const std::string &s)
     return out;
 }
 
+/// Levenshtein distance between two canonicalized names.
+std::size_t
+edit_distance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+        }
+    }
+    return row[b.size()];
+}
+
+/// Accepted spellings, canonicalized, mapped to the canonical display
+/// name — the search space for near-miss suggestions.
+const std::vector<std::pair<std::string, std::string>>&
+accepted_spellings()
+{
+    static const std::vector<std::pair<std::string, std::string>> kMap =
+        {
+            {"lr", "LR"},
+            {"helr", "LR"},
+            {"lstm", "LSTM"},
+            {"resnet20", "ResNet-20"},
+            {"resnet", "ResNet-20"},
+            {"packedbootstrapping", "Packed Bootstrapping"},
+            {"bootstrapping", "Packed Bootstrapping"},
+            {"bootstrap", "Packed Bootstrapping"},
+        };
+    return kMap;
+}
+
+/// Closest known workload for a misspelled `key` (canonical form), or
+/// empty when nothing is plausibly close. The threshold scales with
+/// the candidate length so "lstn" suggests LSTM but "foo" stays quiet.
+std::string
+suggest_workload(const std::string &key)
+{
+    std::string best;
+    std::size_t bestDist = std::string::npos;
+    for (const auto &[spelling, display] : accepted_spellings()) {
+        std::size_t d = edit_distance(key, spelling);
+        std::size_t budget = std::max<std::size_t>(
+            1, std::min(key.size(), spelling.size()) / 3);
+        if (d <= budget && d < bestDist) {
+            bestDist = d;
+            best = display;
+        }
+    }
+    return best;
+}
+
 } // namespace
 
 Workload
@@ -263,8 +322,10 @@ find_workload(const std::string &name)
         if (!known.empty()) known += ", ";
         known += n;
     }
-    POSEIDON_REQUIRE(false, "unknown workload \"" << name
-                                                  << "\"; known: "
+    std::string hint = suggest_workload(key);
+    if (!hint.empty()) hint = " (did you mean \"" + hint + "\"?)";
+    POSEIDON_REQUIRE(false, "unknown workload \"" << name << "\""
+                                                  << hint << "; known: "
                                                   << known);
     return {}; // unreachable
 }

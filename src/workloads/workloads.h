@@ -72,7 +72,9 @@ std::vector<std::string> workload_names();
 /// Look a paper benchmark up by name, case- and punctuation-
 /// insensitively ("lr", "LSTM", "resnet-20", "packed_bootstrapping",
 /// "bootstrapping", ...). Throws poseidon::InvalidArgument on an
-/// unknown name, listing the valid ones.
+/// unknown name, listing the valid ones and suggesting the closest
+/// accepted spelling when the input looks like a typo ("lstn" ->
+/// `did you mean "LSTM"?`).
 Workload find_workload(const std::string &name);
 
 /// The paper-scale shape (N = 2^16, 44 limbs, 1 special prime).

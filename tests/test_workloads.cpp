@@ -30,6 +30,69 @@ TEST(Workloads, FourPaperBenchmarks)
     }
 }
 
+TEST(Workloads, WorkloadNamesMatchPaperBenchmarks)
+{
+    auto names = workloads::workload_names();
+    auto all = workloads::paper_benchmarks();
+    ASSERT_EQ(names.size(), all.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(names[i], all[i].name);
+    }
+}
+
+TEST(Workloads, FindWorkloadAcceptsForgivingSpellings)
+{
+    EXPECT_EQ(workloads::find_workload("lr").name, "LR");
+    EXPECT_EQ(workloads::find_workload("HELR").name, "LR");
+    EXPECT_EQ(workloads::find_workload("lstm").name, "LSTM");
+    EXPECT_EQ(workloads::find_workload("ResNet-20").name, "ResNet-20");
+    EXPECT_EQ(workloads::find_workload("resnet").name, "ResNet-20");
+    EXPECT_EQ(workloads::find_workload("packed_bootstrapping").name,
+              "Packed Bootstrapping");
+    EXPECT_EQ(workloads::find_workload("Bootstrap").name,
+              "Packed Bootstrapping");
+    // Every canonical name round-trips through find_workload.
+    for (const auto &name : workloads::workload_names()) {
+        EXPECT_EQ(workloads::find_workload(name).name, name);
+    }
+}
+
+TEST(Workloads, FindWorkloadUnknownNameListsKnownOnes)
+{
+    try {
+        workloads::find_workload("no-such-workload");
+        FAIL() << "expected InvalidArgument";
+    } catch (const poseidon::InvalidArgument &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("no-such-workload"), std::string::npos);
+        for (const auto &name : workloads::workload_names()) {
+            EXPECT_NE(msg.find(name), std::string::npos) << name;
+        }
+    }
+}
+
+TEST(Workloads, FindWorkloadSuggestsNearMisses)
+{
+    auto message_for = [](const std::string &name) {
+        try {
+            workloads::find_workload(name);
+        } catch (const poseidon::InvalidArgument &e) {
+            return std::string(e.what());
+        }
+        return std::string();
+    };
+    EXPECT_NE(message_for("lstn").find("did you mean \"LSTM\"?"),
+              std::string::npos);
+    EXPECT_NE(message_for("resnet-21").find("did you mean \"ResNet-20\"?"),
+              std::string::npos);
+    EXPECT_NE(message_for("bootstraping")
+                  .find("did you mean \"Packed Bootstrapping\"?"),
+              std::string::npos);
+    // Nothing plausibly close: no suggestion, just the known list.
+    EXPECT_EQ(message_for("quicksort").find("did you mean"),
+              std::string::npos);
+}
+
 TEST(Workloads, LrShape)
 {
     auto lr = workloads::make_lr(workloads::paper_shape());
