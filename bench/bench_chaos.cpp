@@ -1,0 +1,126 @@
+// Chaos-campaign benchmark: availability and goodput of the serving
+// fleet under scripted fault schedules. Two sweeps:
+//
+//  1. fault-storm rate sweep — fleet-wide silent-corruption storms of
+//     increasing intensity over the first half of the drain, showing
+//     how backoff retries trade goodput for availability;
+//  2. the standard scripted scenarios (serve/chaos.h) — card death
+//     mid-drain, storm + death, HBM degrade, gray card, overload
+//     shed — each reporting availability, quarantine activity and
+//     the conservation verdict.
+//
+// Every number is on the modeled 300 MHz clock (bit-identical across
+// hosts and POSEIDON_THREADS). The binary doubles as a gate: it exits
+// non-zero if any scenario loses a job (submitted != completed +
+// failed + expired + shed) or leaves a ticket unresolved.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_harness.h"
+#include "common/table.h"
+#include "serve/chaos.h"
+
+using namespace poseidon;
+
+namespace {
+
+std::string
+fmt(double v, const char *suffix = "")
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffix);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Harness h("chaos", argc, argv);
+    bool allOk = true;
+
+    // ---- Sweep 1: storm intensity vs availability/goodput.
+    const std::vector<double> kRates = {0.0, 0.05, 0.1, 0.2, 0.4};
+    h.config("storm_rates",
+             telemetry::Json::parse("[0.0, 0.05, 0.1, 0.2, 0.4]"));
+
+    // Calibrate the storm window against the clean horizon so every
+    // rate sees the same absolute fault exposure.
+    serve::Scenario base;
+    base.name = "calibrate";
+    base.jobs = 96;
+    double horizon = serve::run_scenario(base).horizonCycles;
+    h.config("jobs", telemetry::Json(96));
+    h.config("clean_horizon_cycles", telemetry::Json(horizon));
+
+    AsciiTable storm("Fault-storm sweep: corruption rate vs "
+                     "availability (96 jobs, 4 cards)");
+    storm.header({"storm rate", "completed", "failed", "retries",
+                  "availability", "goodput (jobs/s)"});
+    for (double rate : kRates) {
+        serve::Scenario sc;
+        sc.name = "storm-sweep";
+        sc.jobs = 96;
+        sc.maxAttempts = 8;
+        sc.backoffBaseCycles = 0.05 * horizon;
+        sc.health.minAttempts = 16; // storms are not a card's fault
+        std::ostringstream dsl;
+        dsl << "FaultStorm{start=0, end=" << 0.5 * horizon
+            << ", rate=" << rate << "}";
+        sc.schedule = serve::ChaosSchedule::parse(dsl.str());
+        serve::CampaignReport r = serve::run_scenario(sc);
+        allOk = allOk && r.ok();
+
+        std::ostringstream key;
+        key << "storm.rate" << rate;
+        h.metric(key.str() + ".availability", r.availability);
+        h.metric(key.str() + ".goodput_jobs_per_sec",
+                 r.goodputJobsPerSec);
+        h.metric(key.str() + ".retries",
+                 static_cast<double>(r.retries));
+        storm.row({fmt(rate * 100.0, "%"),
+                   std::to_string(r.completed),
+                   std::to_string(r.failed),
+                   std::to_string(r.retries),
+                   fmt(r.availability * 100.0, "%"),
+                   fmt(r.goodputJobsPerSec)});
+    }
+    storm.print();
+
+    // ---- Sweep 2: the standard scripted scenarios.
+    AsciiTable table("Standard chaos scenarios (conservation-gated)");
+    table.header({"scenario", "completed", "shed", "retries",
+                  "quarantines", "readmits", "probes", "availability",
+                  "conserved"});
+    for (const serve::Scenario &sc : serve::standard_scenarios()) {
+        serve::CampaignReport r = serve::run_scenario(sc);
+        allOk = allOk && r.ok();
+        h.metric(sc.name + ".availability", r.availability);
+        h.metric(sc.name + ".goodput_jobs_per_sec",
+                 r.goodputJobsPerSec);
+        h.metric(sc.name + ".quarantines",
+                 static_cast<double>(r.quarantines));
+        h.metric(sc.name + ".readmissions",
+                 static_cast<double>(r.readmissions));
+        h.metric(sc.name + ".shed", static_cast<double>(r.shed));
+        table.row({sc.name, std::to_string(r.completed),
+                   std::to_string(r.shed), std::to_string(r.retries),
+                   std::to_string(r.quarantines),
+                   std::to_string(r.readmissions),
+                   std::to_string(r.probes),
+                   fmt(r.availability * 100.0, "%"),
+                   r.ok() ? "yes" : "NO"});
+    }
+    table.print();
+
+    h.metric("conserved", allOk ? 1.0 : 0.0);
+    if (!allOk) {
+        std::printf("CONSERVATION VIOLATED: at least one scenario "
+                    "lost a job or left a ticket unresolved\n");
+    }
+    return h.finish(allOk ? 0 : 1);
+}

@@ -273,11 +273,66 @@ main()
                         serveStats.horizonCycles),
                 clean.cycles);
 
+    // ---- Chaos drill: a card dies mid-run, the fleet survives ----
+    // The same workload, but now against a healthy two-card fleet
+    // with a scripted fault: card 0 silently corrupts every attempt
+    // for the whole run (serve/chaos.h DSL on the ServeConfig). The
+    // circuit breaker quarantines it and the queue drains on card 1;
+    // no job is lost.
+    std::printf("\n-- chaos drill: CardDeath{card=0} injected via "
+                "fault-schedule DSL --\n");
+    serve::ServeConfig chaosCfg;
+    chaosCfg.fleet = {hw::HwConfig::poseidon_u280(),
+                      hw::HwConfig::poseidon_u280()};
+    chaosCfg.chaos = "CardDeath{card=0, cycle=0, duration=1e15}";
+    serve::ServingEngine chaosEngine(chaosCfg);
+
+    std::vector<serve::JobTicket> chaosTickets;
+    for (int i = 0; i < 6; ++i) {
+        serve::JobSpec spec;
+        spec.tenant = "tenant" + std::to_string(i % 3);
+        spec.name = "drill" + std::to_string(i);
+        spec.trace = tr;
+        spec.retry.maxAttempts = 4;
+        chaosTickets.push_back(chaosEngine.submit(std::move(spec)));
+    }
+    chaosEngine.drain();
+
+    bool survived = true;
+    for (const serve::JobTicket &ticket : chaosTickets) {
+        serve::JobResult r = ticket.result.get();
+        if (r.state != serve::JobState::Completed) survived = false;
+    }
+    serve::ServeStats chaosStats = chaosEngine.stats();
+    std::printf("drill: %llu/6 completed, %llu failover retries, "
+                "%llu quarantine(s), %llu probe(s)\n",
+                static_cast<unsigned long long>(chaosStats.completed),
+                static_cast<unsigned long long>(chaosStats.retries),
+                static_cast<unsigned long long>(
+                    chaosStats.quarantines),
+                static_cast<unsigned long long>(chaosStats.probes));
+    for (std::size_t c = 0; c < chaosStats.health.size(); ++c) {
+        const serve::CardHealth &ch = chaosStats.health[c];
+        std::printf("  card %zu breaker: %s (%llu quarantine(s), "
+                    "failure EWMA %.2f)\n",
+                    c, ch.dead ? "Dead" : serve::to_string(ch.state),
+                    static_cast<unsigned long long>(ch.quarantines),
+                    ch.ewmaFailure);
+    }
+    bool quarantined = chaosStats.quarantines > 0;
+    std::printf("%s\n",
+                survived && quarantined
+                    ? "OK: dead card quarantined, fleet drained on "
+                      "the survivor."
+                    : "CHAOS DRILL FAILED");
+
     // ---- Shutdown: expose the service's metrics ----
     std::printf("\n-- metrics (Prometheus exposition) --\n%s",
                 telemetry::MetricsRegistry::global()
                     .prometheus_text()
                     .c_str());
 
-    return ok && gotErrorFrame && served ? 0 : 1;
+    return ok && gotErrorFrame && served && survived && quarantined
+               ? 0
+               : 1;
 }

@@ -31,6 +31,7 @@ to_string(ErrorCode code)
       case ErrorCode::kNoiseBudgetExhausted: return "NoiseBudgetExhausted";
       case ErrorCode::kFaultDetected: return "FaultDetected";
       case ErrorCode::kInternal: return "Internal";
+      case ErrorCode::kOverloaded: return "Overloaded";
     }
     return "Unknown";
 }

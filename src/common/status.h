@@ -18,6 +18,7 @@
  *   ├─ ShapeMismatch        level / scale / limb-count disagreement
  *   ├─ NoiseBudgetExhausted no modulus level left for the operation
  *   ├─ FaultDetected        hardware fault surfaced past ECC
+ *   ├─ Overloaded           admission control shed the work
  *   └─ InternalError        library invariant broken (was abort())
  *
  * The POSEIDON_REQUIRE / POSEIDON_CHECK macros in common/check.h are
@@ -38,6 +39,7 @@ enum class ErrorCode : unsigned {
     kNoiseBudgetExhausted = 4,
     kFaultDetected = 5,
     kInternal = 6,
+    kOverloaded = 7,
 };
 
 /// Short stable name for an error code ("InvalidArgument", ...).
@@ -110,6 +112,17 @@ class FaultDetected : public Error
     explicit FaultDetected(const std::string &message,
                            const char *file = nullptr, int line = 0)
         : Error(ErrorCode::kFaultDetected, message, file, line) {}
+};
+
+/// The service is over capacity and shed this work under admission
+/// control (queue-depth or deadline-feasibility). Clients should back
+/// off and resubmit; the request itself was well-formed.
+class Overloaded : public Error
+{
+  public:
+    explicit Overloaded(const std::string &message,
+                        const char *file = nullptr, int line = 0)
+        : Error(ErrorCode::kOverloaded, message, file, line) {}
 };
 
 /// A library invariant failed — indicates a Poseidon bug, not misuse.

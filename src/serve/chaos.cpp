@@ -1,0 +1,547 @@
+#include "serve/chaos.h"
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "hw/faults.h"
+
+namespace poseidon::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Uniform [0, 1) coin from one 64-bit hash (top 53 bits).
+double
+unit_coin(u64 h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::string
+fmt(double v)
+{
+    if (v == kInf) return "inf";
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+/// The synthetic per-job program of a chaos scenario: an HBM round
+/// trip with NTT + element-wise work at 2^logElems elements.
+isa::Trace
+synthetic_trace(unsigned logElems)
+{
+    const u64 elems = u64(1) << logElems;
+    isa::Trace t;
+    t.emit(isa::OpKind::HBM_RD, elems, 0, isa::BasicOp::Other);
+    t.emit(isa::OpKind::NTT, elems, 4096, isa::BasicOp::Other);
+    t.emit(isa::OpKind::MM, elems, 0, isa::BasicOp::Other);
+    t.emit(isa::OpKind::MA, elems, 0, isa::BasicOp::Other);
+    t.emit(isa::OpKind::HBM_WR, elems, 0, isa::BasicOp::Other);
+    return t;
+}
+
+struct Clause
+{
+    std::string kind;
+    std::vector<std::pair<std::string, double>> kvs;
+    std::string text; // original, for error messages
+};
+
+double
+parse_number(const std::string &clause, const std::string &tok)
+{
+    if (tok == "inf") return kInf;
+    try {
+        std::size_t used = 0;
+        double v = std::stod(tok, &used);
+        POSEIDON_REQUIRE(used == tok.size(),
+                         "chaos DSL: malformed number \"" << tok
+                         << "\" in clause \"" << clause << "\"");
+        return v;
+    } catch (const std::invalid_argument &) {
+        POSEIDON_REQUIRE(false, "chaos DSL: malformed number \""
+                         << tok << "\" in clause \"" << clause
+                         << "\"");
+    } catch (const std::out_of_range &) {
+        POSEIDON_REQUIRE(false, "chaos DSL: number out of range \""
+                         << tok << "\" in clause \"" << clause
+                         << "\"");
+    }
+    return 0.0; // unreachable
+}
+
+std::string
+strip(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+        ++b;
+    }
+    while (e > b &&
+           std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+Clause
+parse_clause(const std::string &raw)
+{
+    Clause c;
+    c.text = raw;
+    std::size_t brace = raw.find('{');
+    if (brace == std::string::npos) {
+        // Standalone `key=value` clause (only `seed=` is known).
+        std::size_t eq = raw.find('=');
+        POSEIDON_REQUIRE(eq != std::string::npos,
+                         "chaos DSL: malformed clause \"" << raw
+                         << "\" (expected Kind{...} or seed=N)");
+        c.kind = strip(raw.substr(0, eq));
+        c.kvs.emplace_back(c.kind,
+                           parse_number(raw, strip(raw.substr(eq + 1))));
+        return c;
+    }
+    POSEIDON_REQUIRE(!raw.empty() && raw.back() == '}',
+                     "chaos DSL: missing closing brace in \"" << raw
+                     << "\"");
+    c.kind = strip(raw.substr(0, brace));
+    std::string body =
+        raw.substr(brace + 1, raw.size() - brace - 2);
+    std::istringstream in(body);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        item = strip(item);
+        if (item.empty()) continue;
+        std::size_t eq = item.find('=');
+        POSEIDON_REQUIRE(eq != std::string::npos,
+                         "chaos DSL: expected key=value, got \""
+                         << item << "\" in clause \"" << raw << "\"");
+        c.kvs.emplace_back(strip(item.substr(0, eq)),
+                           parse_number(raw,
+                                        strip(item.substr(eq + 1))));
+    }
+    return c;
+}
+
+} // namespace
+
+const char*
+to_string(ChaosEvent::Kind k)
+{
+    switch (k) {
+      case ChaosEvent::Kind::CardDeath: return "CardDeath";
+      case ChaosEvent::Kind::HbmDegrade: return "HbmDegrade";
+      case ChaosEvent::Kind::FaultStorm: return "FaultStorm";
+      case ChaosEvent::Kind::GrayCard: return "GrayCard";
+    }
+    return "?";
+}
+
+std::string
+ChaosSchedule::str() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const ChaosEvent &e = events[i];
+        if (i) os << "; ";
+        os << to_string(e.kind) << "{";
+        bool first = true;
+        auto kv = [&](const char *k, double v) {
+            if (!first) os << ", ";
+            os << k << "=" << fmt(v);
+            first = false;
+        };
+        if (e.card != ChaosEvent::kAllCards) {
+            kv("card", static_cast<double>(e.card));
+        }
+        kv("start", e.startCycle);
+        if (e.endCycle != kInf) kv("end", e.endCycle);
+        switch (e.kind) {
+          case ChaosEvent::Kind::FaultStorm:
+            kv("rate", e.rate);
+            break;
+          case ChaosEvent::Kind::HbmDegrade:
+            kv("retryShare", e.retryShare);
+            kv("stack", static_cast<double>(e.stack));
+            break;
+          case ChaosEvent::Kind::GrayCard:
+            kv("slowdown", e.slowdown);
+            break;
+          case ChaosEvent::Kind::CardDeath:
+            break;
+        }
+        os << "}";
+    }
+    if (seed != ChaosSchedule{}.seed) {
+        if (!events.empty()) os << "; ";
+        os << "seed=" << seed;
+    }
+    return os.str();
+}
+
+ChaosSchedule
+ChaosSchedule::parse(const std::string &dsl)
+{
+    ChaosSchedule sched;
+    std::string norm = dsl;
+    for (char &ch : norm) {
+        if (ch == '\n') ch = ';';
+    }
+    std::istringstream in(norm);
+    std::string rawClause;
+    while (std::getline(in, rawClause, ';')) {
+        rawClause = strip(rawClause);
+        if (rawClause.empty()) continue;
+        Clause c = parse_clause(rawClause);
+
+        if (c.kind == "seed") {
+            sched.seed = static_cast<u64>(c.kvs.front().second);
+            continue;
+        }
+
+        ChaosEvent e;
+        if (c.kind == "CardDeath") {
+            e.kind = ChaosEvent::Kind::CardDeath;
+        } else if (c.kind == "HbmDegrade") {
+            e.kind = ChaosEvent::Kind::HbmDegrade;
+        } else if (c.kind == "FaultStorm") {
+            e.kind = ChaosEvent::Kind::FaultStorm;
+        } else if (c.kind == "GrayCard") {
+            e.kind = ChaosEvent::Kind::GrayCard;
+        } else {
+            POSEIDON_REQUIRE(false, "chaos DSL: unknown event kind \""
+                             << c.kind << "\" in clause \"" << c.text
+                             << "\"");
+        }
+
+        double duration = kInf;
+        for (const auto &[key, val] : c.kvs) {
+            if (key == "card") {
+                e.card = static_cast<std::size_t>(val);
+            } else if (key == "cycle" || key == "start") {
+                e.startCycle = val;
+            } else if (key == "end") {
+                e.endCycle = val;
+            } else if (key == "duration") {
+                duration = val;
+            } else if (key == "rate") {
+                e.rate = val;
+            } else if (key == "retryShare") {
+                e.retryShare = val;
+            } else if (key == "slowdown") {
+                e.slowdown = val;
+            } else if (key == "stack") {
+                e.stack = static_cast<unsigned>(val);
+            } else {
+                POSEIDON_REQUIRE(false, "chaos DSL: unknown key \""
+                                 << key << "\" in clause \"" << c.text
+                                 << "\"");
+            }
+        }
+        if (duration != kInf) {
+            POSEIDON_REQUIRE(e.endCycle == kInf,
+                             "chaos DSL: give duration or end, not "
+                             "both, in clause \"" << c.text << "\"");
+            e.endCycle = e.startCycle + duration;
+        }
+        POSEIDON_REQUIRE(e.endCycle >= e.startCycle,
+                         "chaos DSL: end before start in clause \""
+                         << c.text << "\"");
+        POSEIDON_REQUIRE(e.rate >= 0.0 && e.rate <= 1.0,
+                         "chaos DSL: rate must be in [0, 1] in "
+                         "clause \"" << c.text << "\"");
+        POSEIDON_REQUIRE(e.slowdown >= 1.0,
+                         "chaos DSL: slowdown must be >= 1 in clause "
+                         "\"" << c.text << "\"");
+        POSEIDON_REQUIRE(e.retryShare >= 0.0,
+                         "chaos DSL: negative retryShare in clause \""
+                         << c.text << "\"");
+        sched.events.push_back(e);
+    }
+    return sched;
+}
+
+ChaosInjector::ChaosInjector(ChaosSchedule schedule)
+    : schedule_(std::move(schedule))
+{
+}
+
+void
+ChaosInjector::perturb(std::size_t card, JobId job, u64 attempt,
+                       double dispatchCycle, hw::SimResult &r) const
+{
+    for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
+        const ChaosEvent &e = schedule_.events[i];
+        if (!e.targets(card) || !e.active_at(dispatchCycle)) continue;
+        switch (e.kind) {
+          case ChaosEvent::Kind::CardDeath:
+            r.faults.silent += 1;
+            deaths_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ChaosEvent::Kind::HbmDegrade: {
+            double extra = e.retryShare * r.cycles;
+            r.faults.retryCycles += extra;
+            r.faults.detected += 1;
+            r.memCycles += extra;
+            r.cycles += extra;
+            degrades_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          case ChaosEvent::Kind::FaultStorm: {
+            // One deterministic coin per (event, card, job, attempt):
+            // independent of host threading and dispatch order.
+            u64 h = hw::mix_seed(
+                schedule_.seed,
+                (static_cast<u64>(i + 1) << 48) ^
+                    (static_cast<u64>(card + 1) << 40) ^
+                    (static_cast<u64>(job) << 8) ^ attempt);
+            if (unit_coin(h) < e.rate) {
+                r.faults.silent += 1;
+                storms_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case ChaosEvent::Kind::GrayCard: {
+            double extra = (e.slowdown - 1.0) * r.cycles;
+            r.cycles += extra;
+            r.computeCycles += extra;
+            slowdowns_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+    }
+}
+
+telemetry::Json
+CampaignReport::to_json() const
+{
+    using telemetry::Json;
+    Json j = Json::object();
+    j.set("scenario", Json(scenario));
+    j.set("submitted", Json(submitted));
+    j.set("completed", Json(completed));
+    j.set("failed", Json(failed));
+    j.set("expired", Json(expired));
+    j.set("shed", Json(shed));
+    j.set("retries", Json(retries));
+    j.set("quarantines", Json(quarantines));
+    j.set("readmissions", Json(readmissions));
+    j.set("probes", Json(probes));
+    j.set("conserved", Json(conserved));
+    j.set("all_tickets_resolved", Json(allTicketsResolved));
+    j.set("availability", Json(availability));
+    j.set("goodput_jobs_per_sec", Json(goodputJobsPerSec));
+    j.set("horizon_cycles", Json(horizonCycles));
+    return j;
+}
+
+CampaignReport
+run_scenario(const Scenario &sc)
+{
+    POSEIDON_REQUIRE(sc.cards >= 1,
+                     "chaos scenario \"" << sc.name
+                     << "\": empty fleet");
+    POSEIDON_REQUIRE(sc.tenants >= 1,
+                     "chaos scenario \"" << sc.name
+                     << "\": no tenants");
+
+    ServeConfig cfg;
+    cfg.cards = sc.cards;
+    cfg.maxQueueDepth = sc.maxQueueDepth;
+    cfg.health = sc.health;
+    cfg.chaos = sc.schedule.str();
+    cfg.exportTelemetry = false; // campaigns run quiet by default
+    ServingEngine engine(cfg);
+
+    isa::Trace trace;
+    if (sc.workload.empty()) trace = synthetic_trace(sc.logElems);
+
+    // Stagger arrivals so the fleet stays busy but never idle-waits:
+    // one job per (cost / cards) cycles, estimated from a clean
+    // pricing of the scenario trace.
+    double jobCycles =
+        sc.workload.empty()
+            ? engine.shards().price(0, trace).cycles
+            : 0.0;
+    double spacing = jobCycles / static_cast<double>(sc.cards);
+
+    std::vector<JobTicket> tickets;
+    tickets.reserve(sc.jobs);
+    for (std::size_t i = 0; i < sc.jobs; ++i) {
+        JobSpec spec;
+        spec.tenant = "tenant" + std::to_string(i % sc.tenants);
+        spec.name = sc.name + "/job" + std::to_string(i);
+        if (sc.workload.empty()) {
+            spec.trace = trace;
+        } else {
+            spec.workload = sc.workload;
+        }
+        spec.priority = static_cast<int>(i % 2);
+        spec.arrivalCycle = spacing * static_cast<double>(i);
+        if (sc.deadlineSlackCycles !=
+            std::numeric_limits<double>::infinity()) {
+            spec.deadlineCycle =
+                spec.arrivalCycle + sc.deadlineSlackCycles;
+        }
+        spec.retry.maxAttempts = sc.maxAttempts;
+        spec.retry.backoffBaseCycles = sc.backoffBaseCycles;
+        tickets.push_back(engine.submit(std::move(spec)));
+    }
+
+    engine.drain();
+
+    CampaignReport rep;
+    rep.scenario = sc.name;
+    rep.allTicketsResolved = true;
+    for (const JobTicket &t : tickets) {
+        if (t.result.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+            rep.allTicketsResolved = false;
+        }
+    }
+
+    rep.stats = engine.stats();
+    rep.submitted = rep.stats.submitted;
+    rep.completed = rep.stats.completed;
+    rep.failed = rep.stats.failed;
+    rep.expired = rep.stats.expired;
+    rep.shed = rep.stats.shed;
+    rep.retries = rep.stats.retries;
+    rep.quarantines = rep.stats.quarantines;
+    rep.readmissions = rep.stats.readmissions;
+    rep.probes = rep.stats.probes;
+    rep.horizonCycles = rep.stats.horizonCycles;
+    rep.conserved =
+        rep.allTicketsResolved &&
+        rep.submitted ==
+            rep.completed + rep.failed + rep.expired + rep.shed;
+    rep.availability =
+        rep.submitted > 0
+            ? static_cast<double>(rep.completed) /
+                  static_cast<double>(rep.submitted)
+            : 0.0;
+    rep.goodputJobsPerSec = rep.stats.throughput_jobs_per_sec();
+    return rep;
+}
+
+std::vector<Scenario>
+standard_scenarios()
+{
+    // Measure the clean-fleet horizon with a fault-free dry run:
+    // scenario windows are placed relative to it so the storms
+    // actually overlap the drain (a static estimate misses the
+    // per-batch dispatch overhead and lands between dispatches).
+    Scenario base;
+    base.name = "dry-run";
+    base.jobs = 96; // enough dispatches for windows to catch batches
+    double horizon = run_scenario(base).horizonCycles;
+
+    std::vector<Scenario> out;
+
+    {
+        Scenario sc;
+        sc.name = "card-death-mid-drain";
+        sc.jobs = 96;
+        sc.description =
+            "Card 0 silently corrupts everything for a window "
+            "starting mid-drain; the breaker must quarantine it, the "
+            "fleet absorbs the queue, probes re-admit it after the "
+            "window.";
+        sc.maxAttempts = 6;
+        sc.health.minAttempts = 2;
+        sc.health.cooldownCycles = 0.15 * horizon;
+        std::ostringstream dsl;
+        dsl << "CardDeath{card=0, cycle=" << fmt(0.2 * horizon)
+            << ", duration=" << fmt(0.3 * horizon) << "}";
+        sc.schedule = ChaosSchedule::parse(dsl.str());
+        out.push_back(std::move(sc));
+    }
+    {
+        Scenario sc;
+        sc.name = "fault-storm";
+        sc.jobs = 96;
+        sc.description =
+            "Fleet-wide silent-corruption storm over the first half "
+            "of the drain; backoff retries must carry every job to "
+            "completion once the storm passes.";
+        sc.maxAttempts = 8;
+        sc.backoffBaseCycles = 0.05 * horizon;
+        sc.health.minAttempts = 16; // storms are not a card's fault
+        std::ostringstream dsl;
+        dsl << "FaultStorm{start=0, end=" << fmt(0.5 * horizon)
+            << ", rate=0.2}";
+        sc.schedule = ChaosSchedule::parse(dsl.str());
+        out.push_back(std::move(sc));
+    }
+    {
+        Scenario sc;
+        sc.name = "storm-plus-death";
+        sc.jobs = 96;
+        sc.description =
+            "The acceptance scenario: a fault storm with a card death "
+            "inside it. Zero lost jobs, the dead card quarantined "
+            "within the window and re-admitted after cooldown.";
+        sc.maxAttempts = 8;
+        sc.backoffBaseCycles = 0.05 * horizon;
+        sc.health.minAttempts = 3;
+        sc.health.failureThreshold = 0.75;
+        sc.health.cooldownCycles = 0.2 * horizon;
+        std::ostringstream dsl;
+        dsl << "FaultStorm{start=0, end=" << fmt(0.4 * horizon)
+            << ", rate=0.1}; CardDeath{card=1, cycle="
+            << fmt(0.1 * horizon) << ", duration="
+            << fmt(0.4 * horizon) << "}";
+        sc.schedule = ChaosSchedule::parse(dsl.str());
+        out.push_back(std::move(sc));
+    }
+    {
+        Scenario sc;
+        sc.name = "hbm-degrade";
+        sc.jobs = 96;
+        sc.description =
+            "One HBM stack on card 1 drowns in detected-uncorrected "
+            "replays (no corruption): jobs still complete, but the "
+            "retry-share breaker quarantines the card until the stack "
+            "recovers.";
+        sc.health.minAttempts = 2;
+        sc.health.cooldownCycles = 0.1 * horizon;
+        std::ostringstream dsl;
+        dsl << "HbmDegrade{card=1, cycle=0, duration="
+            << fmt(0.5 * horizon) << ", retryShare=1.5, stack=0}";
+        sc.schedule = ChaosSchedule::parse(dsl.str());
+        out.push_back(std::move(sc));
+    }
+    {
+        Scenario sc;
+        sc.name = "gray-card";
+        sc.jobs = 96;
+        sc.description =
+            "Card 2 runs 3x slow but correct — a gray failure. The "
+            "breaker must NOT trip (no faults), and every job must "
+            "still complete.";
+        std::ostringstream dsl;
+        dsl << "GrayCard{card=2, cycle=0, slowdown=3}";
+        sc.schedule = ChaosSchedule::parse(dsl.str());
+        out.push_back(std::move(sc));
+    }
+    {
+        Scenario sc;
+        sc.name = "overload-shed";
+        sc.description =
+            "Twice the jobs against a hard admission limit: the "
+            "excess must shed as typed Overloaded results, never "
+            "hang, and high-priority work must survive.";
+        sc.jobs = 48;
+        sc.maxQueueDepth = 8;
+        out.push_back(std::move(sc));
+    }
+    return out;
+}
+
+} // namespace poseidon::serve

@@ -8,6 +8,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "serve/chaos.h"
+#include "telemetry/tracer.h"
 #include "workloads/workloads.h"
 
 namespace poseidon::serve {
@@ -40,6 +42,21 @@ derive_batch_key(const isa::Trace &trace)
     return "deg:" + std::to_string(deg);
 }
 
+/// The canonical probe program: one small HBM round trip with
+/// element-wise and NTT work — enough memory traffic to exercise a
+/// sick HBM stack, cheap enough to waste on a card under suspicion.
+isa::Trace
+make_probe_trace()
+{
+    const u64 elems = u64(1) << 14;
+    isa::Trace t;
+    t.emit(isa::OpKind::HBM_RD, elems, 0, isa::BasicOp::Other);
+    t.emit(isa::OpKind::MM, elems, 0, isa::BasicOp::Other);
+    t.emit(isa::OpKind::NTT, elems, 4096, isa::BasicOp::Other);
+    t.emit(isa::OpKind::HBM_WR, elems, 0, isa::BasicOp::Other);
+    return t;
+}
+
 } // namespace
 
 const char*
@@ -50,6 +67,7 @@ to_string(JobState s)
       case JobState::Completed: return "Completed";
       case JobState::Failed: return "Failed";
       case JobState::Expired: return "Expired";
+      case JobState::Shed: return "Shed";
     }
     return "?";
 }
@@ -79,9 +97,13 @@ ServeStats::to_json() const
     j.set("completed", Json(completed));
     j.set("failed", Json(failed));
     j.set("expired", Json(expired));
+    j.set("shed", Json(shed));
     j.set("retries", Json(retries));
     j.set("batches", Json(batches));
     j.set("max_queue_depth", Json(maxQueueDepth));
+    j.set("quarantines", Json(quarantines));
+    j.set("readmissions", Json(readmissions));
+    j.set("probes", Json(probes));
     j.set("horizon_cycles", Json(horizonCycles));
     j.set("busy_cycles", Json(busyCycles));
     j.set("throughput_jobs_per_sec", Json(throughput_jobs_per_sec()));
@@ -92,6 +114,7 @@ ServeStats::to_json() const
         one.set("completed", Json(t.completed));
         one.set("failed", Json(t.failed));
         one.set("expired", Json(t.expired));
+        one.set("shed", Json(t.shed));
         one.set("attained_cycles", Json(t.attainedCycles));
         one.set("p50_latency_cycles", Json(t.p50LatencyCycles));
         one.set("p99_latency_cycles", Json(t.p99LatencyCycles));
@@ -99,13 +122,21 @@ ServeStats::to_json() const
     }
     j.set("tenants", std::move(jt));
     Json jc = Json::array();
-    for (const CardStats &c : cards) {
+    for (std::size_t i = 0; i < cards.size(); ++i) {
+        const CardStats &c = cards[i];
         Json one = Json::object();
         one.set("busy_cycles", Json(c.busyCycles));
         one.set("occupancy", Json(c.occupancy(horizonCycles)));
         one.set("jobs", Json(c.jobs));
         one.set("batches", Json(c.batches));
         one.set("failed_attempts", Json(c.failedAttempts));
+        one.set("probes", Json(c.probes));
+        if (i < health.size()) {
+            const CardHealth &h = health[i];
+            one.set("breaker",
+                    Json(h.dead ? "Dead" : to_string(h.state)));
+            one.set("quarantines", Json(h.quarantines));
+        }
         jc.push_back(std::move(one));
     }
     j.set("cards", std::move(jc));
@@ -122,9 +153,28 @@ ServeStats::export_metrics(telemetry::MetricsRegistry &reg) const
     reg.gauge("serve.throughput_jobs_per_sec")
         .set(throughput_jobs_per_sec());
     reg.gauge("serve.fleet_occupancy").set(fleet_occupancy());
+    reg.gauge("serve.health.quarantines")
+        .set(static_cast<double>(quarantines));
+    reg.gauge("serve.health.readmissions")
+        .set(static_cast<double>(readmissions));
+    reg.gauge("serve.health.probes").set(static_cast<double>(probes));
     for (std::size_t i = 0; i < cards.size(); ++i) {
         reg.gauge("serve.card_occupancy." + std::to_string(i))
             .set(cards[i].occupancy(horizonCycles));
+    }
+    for (std::size_t i = 0; i < health.size(); ++i) {
+        const CardHealth &h = health[i];
+        // 0 = Closed, 1 = HalfOpen, 2 = Open, 3 = dead.
+        double state = h.dead ? 3.0
+                       : h.state == BreakerState::Open      ? 2.0
+                       : h.state == BreakerState::HalfOpen  ? 1.0
+                                                            : 0.0;
+        reg.gauge("serve.health.state." + std::to_string(i))
+            .set(state);
+        reg.gauge("serve.health.failure_ewma." + std::to_string(i))
+            .set(h.ewmaFailure);
+        reg.gauge("serve.health.retry_share_ewma." + std::to_string(i))
+            .set(h.ewmaRetryShare);
     }
     for (const auto &[name, t] : tenants) {
         reg.gauge("serve.tenant_p50_cycles." + name)
@@ -139,7 +189,11 @@ ServingEngine::ServingEngine(ServeConfig cfg)
       shards_(cfg_.fleet.empty()
                   ? ShardManager(cfg_.cards, cfg_.card)
                   : ShardManager(cfg_.fleet)),
-      sched_(cfg_.maxBatch)
+      sched_(cfg_.maxBatch),
+      health_(shards_.size(), cfg_.health),
+      chaos_(new ChaosInjector(ChaosSchedule::parse(cfg_.chaos))),
+      probeTrace_(make_probe_trace()),
+      probeSeq_(shards_.size(), 0)
 {
     POSEIDON_REQUIRE(cfg_.dispatchCycles >= 0.0,
                      "ServingEngine: negative dispatch overhead");
@@ -160,6 +214,27 @@ ServingEngine::submit(JobSpec spec)
                      << "\" carries neither a trace nor a workload");
     POSEIDON_REQUIRE(!spec.tenant.empty(),
                      "ServingEngine::submit: empty tenant");
+    POSEIDON_REQUIRE(spec.retry.maxAttempts >= 1,
+                     "ServingEngine::submit: job \"" << spec.name
+                     << "\" has maxAttempts == 0 (it could never run)");
+    POSEIDON_REQUIRE(spec.retry.backoffBaseCycles >= 0.0 &&
+                         std::isfinite(spec.retry.backoffBaseCycles),
+                     "ServingEngine::submit: negative or non-finite "
+                     "backoffBaseCycles");
+    POSEIDON_REQUIRE(spec.retry.backoffMultiplier >= 1.0,
+                     "ServingEngine::submit: backoffMultiplier must "
+                     "be >= 1, got " << spec.retry.backoffMultiplier);
+    POSEIDON_REQUIRE(std::isfinite(spec.arrivalCycle) &&
+                         spec.arrivalCycle >= 0.0,
+                     "ServingEngine::submit: job \"" << spec.name
+                     << "\" has a negative or non-finite arrival "
+                        "cycle");
+    POSEIDON_REQUIRE(spec.deadlineCycle >= spec.arrivalCycle,
+                     "ServingEngine::submit: job \"" << spec.name
+                     << "\" deadline " << spec.deadlineCycle
+                     << " lies before its arrival "
+                     << spec.arrivalCycle
+                     << " (it could never be dispatched in time)");
     spec.trace.validate(); // reject malformed programs at the boundary
     if (spec.batchKey.empty()) {
         spec.batchKey = derive_batch_key(spec.trace);
@@ -184,7 +259,7 @@ ServingEngine::queue_depth() const
 {
     std::lock_guard<std::mutex> lk(mu_);
     return static_cast<std::size_t>(submitted_ - completed_ - failed_ -
-                                    expired_);
+                                    expired_ - shed_);
 }
 
 void
@@ -214,6 +289,10 @@ ServingEngine::finish_job(QueuedJob &&qj, JobResult r)
             ++expired_;
             ++t.expired;
             break;
+          case JobState::Shed:
+            ++shed_;
+            ++t.shed;
+            break;
           case JobState::Queued:
             POSEIDON_CHECK(false, "finish_job with non-terminal state");
         }
@@ -236,6 +315,9 @@ ServingEngine::finish_job(QueuedJob &&qj, JobResult r)
           case JobState::Expired:
             telemetry::count("serve.jobs.expired");
             break;
+          case JobState::Shed:
+            telemetry::count("serve.jobs.shed");
+            break;
           default:
             break;
         }
@@ -248,6 +330,54 @@ ServingEngine::finish_job(QueuedJob &&qj, JobResult r)
 }
 
 void
+ServingEngine::shed_job(QueuedJob &&qj, double cycle, const char *why)
+{
+    JobResult r;
+    r.id = qj.id;
+    r.state = JobState::Shed;
+    r.errorCode = ErrorCode::kOverloaded;
+    r.tenant = qj.spec.tenant;
+    r.name = qj.spec.name;
+    r.attempts = qj.attempt;
+    r.arrivalCycle = qj.spec.arrivalCycle;
+    r.finishCycle = std::max(cycle, qj.spec.arrivalCycle);
+    std::ostringstream msg;
+    msg << "Overloaded: " << why << " (shed at cycle "
+        << r.finishCycle << ")";
+    r.error = msg.str();
+    finish_job(std::move(qj), std::move(r));
+}
+
+void
+ServingEngine::dispatch_probe(std::size_t card, double T)
+{
+    u64 seq = probeSeq_[card]++;
+    hw::SimResult sim = shards_.price(card, probeTrace_, /*job=*/0,
+                                      seq);
+    if (chaos_->active()) {
+        chaos_->perturb(card, /*job=*/0, seq, T, sim);
+    }
+    // The probe verdict mirrors the breaker's own trip conditions:
+    // any silent corruption, or an ECC-replay share that would still
+    // trip the degradation threshold, keeps the card quarantined.
+    double retryShare =
+        sim.cycles > 0.0 ? sim.faults.retryCycles / sim.cycles : 0.0;
+    bool ok = sim.faults.silent == 0 &&
+              retryShare < cfg_.health.retryShareThreshold;
+
+    CardStats &cs = shards_.stats(card);
+    double busy = cfg_.dispatchCycles + sim.cycles;
+    cs.busyCycles += busy;
+    cs.freeAtCycle = T + busy;
+    ++cs.probes;
+    health_.record_probe(card, T + busy, ok);
+    if (cfg_.exportTelemetry) {
+        telemetry::count("serve.health.probes");
+        if (!ok) telemetry::count("serve.health.probe_failures");
+    }
+}
+
+void
 ServingEngine::refresh_gauges()
 {
     if (!cfg_.exportTelemetry || !telemetry::enabled()) return;
@@ -255,6 +385,64 @@ ServingEngine::refresh_gauges()
                          static_cast<double>(sched_.depth()));
     telemetry::gauge_set("serve.cards",
                          static_cast<double>(shards_.size()));
+}
+
+void
+ServingEngine::export_health_trace() const
+{
+    telemetry::Tracer &tracer = telemetry::Tracer::global();
+    if (!tracer.active() || health_.events().empty()) return;
+    double clock = shards_.card(0).config().clockGHz;
+    // Modeled cycles -> microseconds on the simulated-cycle process.
+    auto us = [clock](double cycles) {
+        return cycles / (clock * 1e9) * 1e6;
+    };
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+        int tid = 400 + static_cast<int>(c);
+        tracer.set_thread_name(telemetry::Tracer::kSimPid, tid,
+                               "card" + std::to_string(c) + " health");
+        double openAt = -1.0;
+        std::string reason;
+        for (const HealthEvent &e : health_.events()) {
+            if (e.card != c) continue;
+            bool opens = e.kind == HealthEvent::Kind::Quarantined;
+            bool closes = e.kind == HealthEvent::Kind::Readmitted ||
+                          e.kind == HealthEvent::Kind::Died;
+            if (opens && openAt < 0.0) {
+                openAt = e.cycle;
+                reason = e.reason;
+            } else if (closes && openAt >= 0.0) {
+                telemetry::TraceEvent ev;
+                ev.name = e.kind == HealthEvent::Kind::Died
+                              ? "dead"
+                              : "quarantine";
+                ev.pid = telemetry::Tracer::kSimPid;
+                ev.tid = tid;
+                ev.tsUs = us(openAt);
+                ev.durUs = us(e.cycle - openAt);
+                ev.args.emplace_back("reason",
+                                     telemetry::Json(reason));
+                ev.args.emplace_back("open_cycle",
+                                     telemetry::Json(openAt));
+                ev.args.emplace_back("close_cycle",
+                                     telemetry::Json(e.cycle));
+                tracer.complete_event(std::move(ev));
+                openAt = -1.0;
+            }
+        }
+        if (openAt >= 0.0) { // still quarantined at drain end
+            telemetry::TraceEvent ev;
+            ev.name = "quarantine";
+            ev.pid = telemetry::Tracer::kSimPid;
+            ev.tid = tid;
+            ev.tsUs = us(openAt);
+            ev.durUs = us(std::max(horizon_, openAt) - openAt);
+            ev.args.emplace_back("reason", telemetry::Json(reason));
+            ev.args.emplace_back("open_cycle",
+                                 telemetry::Json(openAt));
+            tracer.complete_event(std::move(ev));
+        }
+    }
 }
 
 void
@@ -269,6 +457,8 @@ ServingEngine::drain()
         std::vector<hw::SimResult> results; // parallels batch
     };
 
+    const bool chaosOn = chaos_->active();
+
     for (;;) {
         // ---- Ingest everything submitted since the last round (the
         // initial burst, or follow-ups from completion callbacks).
@@ -282,24 +472,59 @@ ServingEngine::drain()
             maxQueueDepth_ = std::max(
                 maxQueueDepth_, static_cast<u64>(sched_.depth()));
         }
+
+        // ---- Admission control: shed the lowest-priority (then
+        // newest) work down to the configured depth, as typed
+        // Overloaded results rather than silent queue timeouts.
+        if (cfg_.maxQueueDepth > 0 &&
+            sched_.depth() > cfg_.maxQueueDepth) {
+            std::vector<QueuedJob> dropped =
+                sched_.shed_to_depth(cfg_.maxQueueDepth);
+            for (QueuedJob &qj : dropped) {
+                shed_job(std::move(qj), clock_,
+                         "queue depth exceeded the admission limit");
+            }
+            continue; // callbacks may have resubmitted
+        }
+
         if (sched_.empty()) break;
 
+        // ---- All cards dead: nothing will ever serve this queue.
+        // Shed it as Overloaded instead of deadlocking.
+        if (health_.all_dead()) {
+            std::vector<QueuedJob> stranded = sched_.drain_all();
+            for (QueuedJob &qj : stranded) {
+                shed_job(std::move(qj), clock_,
+                         "every card is quarantined beyond recovery");
+            }
+            continue;
+        }
+
         // ---- The round time T: the earliest simulated cycle any
-        // dispatch can start. All decisions below read queue/clock
-        // state at T only, so the schedule is host-timing-free.
+        // card can do *anything* — run a batch, or probe its way out
+        // of quarantine. All decisions below read queue/clock state
+        // at T only, so the schedule is host-timing-free.
         double t0 = kInf;
         for (std::size_t c = 0; c < shards_.size(); ++c) {
-            t0 = std::min(t0, shards_.stats(c).freeAtCycle);
+            double avail = health_.available_at(
+                c, shards_.stats(c).freeAtCycle);
+            t0 = std::min(t0, avail);
         }
         double tArr = sched_.earliest_head_arrival();
         double T = std::max(t0, tArr);
         POSEIDON_CHECK(std::isfinite(T), "serving clock diverged");
+        clock_ = std::max(clock_, T);
 
-        // ---- Offer T to every card already free at T, in
-        // (freeAt, index) order.
+        // ---- Offer T to every card available at T, in (available,
+        // index) order. Quarantined cards whose cooldown elapsed get
+        // a probe instead of work; OPEN cards inside their cooldown
+        // and dead cards are skipped entirely.
         std::vector<std::size_t> order;
         for (std::size_t c = 0; c < shards_.size(); ++c) {
-            if (shards_.stats(c).freeAtCycle <= T) order.push_back(c);
+            if (health_.available_at(c, shards_.stats(c).freeAtCycle)
+                <= T) {
+                order.push_back(c);
+            }
         }
         std::stable_sort(order.begin(), order.end(),
                          [&](std::size_t a, std::size_t b) {
@@ -307,11 +532,42 @@ ServingEngine::drain()
                                     shards_.stats(b).freeAtCycle;
                          });
 
+        // Probes first: a card on probation re-earns admission with
+        // synthesized low-priority work, never with client jobs.
+        bool probed = false;
+        for (std::size_t c : order) {
+            if (health_.wants_probe(c, T)) {
+                dispatch_probe(c, T);
+                probed = true;
+            }
+        }
+
+        // The failover filter for each card: skip jobs that already
+        // faulted on it, unless the job has faulted on every live
+        // card (then exclusion is waived — there is nowhere else).
+        std::size_t live = health_.live_cards();
+        auto excluded_from = [&](std::size_t card) {
+            return JobFilter([this, card, live](const QueuedJob &j) {
+                if (j.faultedCards.empty()) return false;
+                std::size_t liveFaulted = 0;
+                for (std::size_t f : j.faultedCards) {
+                    if (f < shards_.size() &&
+                        !health_.card(f).dead) {
+                        ++liveFaulted;
+                    }
+                }
+                if (liveFaulted >= live) return false; // waived
+                return j.has_faulted_on(card);
+            });
+        };
+
         std::vector<ExpiredJob> expired;
         std::vector<Assignment> round;
         for (std::size_t c : order) {
+            if (!health_.admissible(c, T)) continue;
+            if (shards_.stats(c).freeAtCycle > T) continue; // probing
             std::vector<QueuedJob> batch =
-                sched_.pick_batch(c, shards_.size(), T, expired);
+                sched_.pick_batch(c, T, expired, excluded_from(c));
             if (batch.empty()) continue;
             Assignment a;
             a.card = c;
@@ -327,6 +583,7 @@ ServingEngine::drain()
             JobResult r;
             r.id = e.job.id;
             r.state = JobState::Expired;
+            r.errorCode = ErrorCode::kOverloaded;
             r.tenant = e.job.spec.tenant;
             r.name = e.job.spec.name;
             r.attempts = e.job.attempt;
@@ -341,27 +598,34 @@ ServingEngine::drain()
         }
 
         if (round.empty()) {
+            if (probed) continue; // probes advanced some card clocks
             if (sched_.empty()) continue; // expiries emptied the queue
-            // Every free card is excluded from every eligible head
-            // (single-card exclusion => a busy card exists). Idle the
-            // free cards forward to the next card-release event.
+            // Every available card is excluded from every eligible
+            // head, or all free cards are quarantined. Idle forward
+            // to the next event: a busy card releasing, a cooldown
+            // expiring, or a future arrival.
             double tNext = kInf;
             for (std::size_t c = 0; c < shards_.size(); ++c) {
-                double f = shards_.stats(c).freeAtCycle;
-                if (f > T) tNext = std::min(tNext, f);
+                double avail = health_.available_at(
+                    c, shards_.stats(c).freeAtCycle);
+                if (avail > T) tNext = std::min(tNext, avail);
             }
+            double arr = sched_.earliest_head_arrival();
+            if (arr > T) tNext = std::min(tNext, arr);
             POSEIDON_CHECK(std::isfinite(tNext),
                            "serving engine stalled at cycle " << T);
             for (std::size_t c : order) {
-                shards_.stats(c).freeAtCycle = tNext;
+                if (shards_.stats(c).freeAtCycle < tNext) {
+                    shards_.stats(c).freeAtCycle = tNext;
+                }
             }
             continue;
         }
 
         // ---- Price every attempt of the round concurrently on the
-        // host pool. Pricing is a pure function of
-        // (card, trace, job, attempt), so chunk order cannot change
-        // any modeled number.
+        // host pool. Pricing (and chaos injection) is a pure function
+        // of (card, trace, job, attempt, dispatch cycle), so chunk
+        // order cannot change any modeled number.
         std::vector<std::pair<std::size_t, std::size_t>> flat;
         for (std::size_t ai = 0; ai < round.size(); ++ai) {
             for (std::size_t ji = 0; ji < round[ai].batch.size(); ++ji) {
@@ -377,6 +641,10 @@ ServingEngine::drain()
                     const QueuedJob &qj = a.batch[ji];
                     a.results[ji] = shards_.price(
                         a.card, qj.spec.trace, qj.id, qj.attempt);
+                    if (chaosOn) {
+                        chaos_->perturb(a.card, qj.id, qj.attempt,
+                                        a.startCycle, a.results[ji]);
+                    }
                 }
             },
             "serve.price");
@@ -407,27 +675,56 @@ ServingEngine::drain()
                 bool silent = sim.faults.silent > 0;
                 bool overBudget = sim.faults.retryCycles >
                                   qj.spec.retry.retryCycleBudget;
-                if (silent || overBudget) {
+                bool failedAttempt = silent || overBudget;
+
+                // Feed the circuit breaker; a trip quarantines the
+                // card from the next round on (queued work flows to
+                // the rest of the fleet automatically).
+                bool tripped = health_.record_attempt(
+                    a.card, cum, sim.faults, sim.cycles,
+                    failedAttempt);
+                if (tripped && cfg_.exportTelemetry) {
+                    telemetry::count("serve.health.quarantines");
+                }
+
+                if (failedAttempt) {
                     ++cs.failedAttempts;
-                    if (attemptsUsed < qj.spec.retry.maxAttempts) {
-                        // Fail over: requeue against a different card
-                        // (same card only when the fleet has one).
-                        qj.attempt = attemptsUsed;
-                        qj.excludeCard = a.card;
-                        qj.spec.arrivalCycle = cum;
-                        {
-                            std::lock_guard<std::mutex> lk(mu_);
-                            ++retries_;
+                    const RetryPolicy &rp = qj.spec.retry;
+                    if (attemptsUsed < rp.maxAttempts) {
+                        // Exponential backoff on the simulated clock;
+                        // skip the retry outright when it cannot meet
+                        // the deadline anyway.
+                        double backoff =
+                            rp.backoffBaseCycles *
+                            std::pow(rp.backoffMultiplier,
+                                     static_cast<double>(
+                                         attemptsUsed - 1));
+                        double nextArrival = cum + backoff;
+                        double estCost =
+                            cfg_.dispatchCycles + sim.cycles;
+                        if (nextArrival + estCost <=
+                            qj.spec.deadlineCycle) {
+                            qj.attempt = attemptsUsed;
+                            if (!qj.has_faulted_on(a.card)) {
+                                qj.faultedCards.push_back(a.card);
+                            }
+                            qj.spec.arrivalCycle = nextArrival;
+                            {
+                                std::lock_guard<std::mutex> lk(mu_);
+                                ++retries_;
+                            }
+                            if (cfg_.exportTelemetry) {
+                                telemetry::count(
+                                    "serve.jobs.retried");
+                            }
+                            sched_.enqueue(std::move(qj));
+                            continue;
                         }
-                        if (cfg_.exportTelemetry) {
-                            telemetry::count("serve.jobs.retried");
-                        }
-                        sched_.enqueue(std::move(qj));
-                        continue;
                     }
                     JobResult r;
                     r.id = qj.id;
                     r.state = JobState::Failed;
+                    r.errorCode = ErrorCode::kFaultDetected;
                     r.tenant = qj.spec.tenant;
                     r.name = qj.spec.name;
                     r.card = a.card;
@@ -441,6 +738,11 @@ ServingEngine::drain()
                         << " on card " << a.card << " (attempt "
                         << attemptsUsed << "/"
                         << qj.spec.retry.maxAttempts << ")";
+                    if (attemptsUsed < qj.spec.retry.maxAttempts) {
+                        msg << "; retry skipped: backoff + estimated "
+                               "cost cannot meet deadline "
+                            << qj.spec.deadlineCycle;
+                    }
                     r.error = msg.str();
                     finish_job(std::move(qj), std::move(r));
                     continue;
@@ -466,6 +768,7 @@ ServingEngine::drain()
     }
 
     refresh_gauges();
+    export_health_trace();
     if (cfg_.exportTelemetry && telemetry::enabled()) {
         stats().export_metrics(telemetry::MetricsRegistry::global());
     }
@@ -480,9 +783,13 @@ ServingEngine::stats() const
     s.completed = completed_;
     s.failed = failed_;
     s.expired = expired_;
+    s.shed = shed_;
     s.retries = retries_;
     s.batches = batches_;
     s.maxQueueDepth = maxQueueDepth_;
+    s.quarantines = health_.quarantines();
+    s.readmissions = health_.readmissions();
+    s.probes = health_.probes();
     s.horizonCycles = horizon_;
     s.clockGHz = shards_.card(0).config().clockGHz;
     s.tenants = tenants_;
@@ -495,6 +802,10 @@ ServingEngine::stats() const
     }
     s.cards = shards_.stats();
     for (const CardStats &c : s.cards) s.busyCycles += c.busyCycles;
+    s.health.reserve(health_.size());
+    for (std::size_t i = 0; i < health_.size(); ++i) {
+        s.health.push_back(health_.card(i));
+    }
     return s;
 }
 

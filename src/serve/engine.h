@@ -28,16 +28,41 @@
  * their card. An attempt whose run leaks a silent corruption or
  * overruns its RetryPolicy::retryCycleBudget in ECC replays has
  * failed: the attempt's full duration still occupies the card (and is
- * charged to the tenant), and the job is requeued with the failing
- * card excluded (fleet > 1) until maxAttempts is exhausted.
+ * charged to the tenant), and the job is requeued — with exponential
+ * backoff in simulated cycles when RetryPolicy::backoffBaseCycles is
+ * set, and with every card it has faulted on excluded while an
+ * untried live card remains — until maxAttempts is exhausted. A
+ * retry whose backed-off start plus estimated cost cannot meet the
+ * job's deadline is skipped (the job fails immediately).
+ *
+ * **Fleet health.** Every attempt feeds the per-card HealthMonitor
+ * (serve/health.h): a card whose failure or ECC-replay EWMA crosses
+ * its threshold is quarantined (breaker OPEN — no more work, the
+ * queue flows to the rest of the fleet), re-enters via low-priority
+ * probe jobs after a cooldown, and is re-admitted once enough probes
+ * come back clean. When every card is dead the engine sheds the
+ * queue as Overloaded rather than deadlocking.
+ *
+ * **Admission control.** With maxQueueDepth set, drain() sheds the
+ * lowest-priority (then newest) queued work whenever ingestion pushes
+ * the queue past the limit; shed jobs finish as JobState::Shed with
+ * ErrorCode::kOverloaded — a typed error frame, not a silent timeout.
+ *
+ * **Chaos.** ServeConfig::chaos accepts a fault-schedule DSL
+ * (serve/chaos.h): scripted card deaths, HBM degradation, fleet-wide
+ * fault storms and gray slowdowns perturb priced attempts
+ * deterministically, which is what the chaos campaigns drive.
  *
  * **Telemetry.** With exportTelemetry on, drain() maintains
- * serve.queue_depth / serve.cards gauges, serve.jobs.* counters,
- * per-tenant simulated-latency histograms
- * (serve.tenant_latency_us.<tenant>) and per-card occupancy gauges
- * (serve.card_occupancy.<i>); stats() returns the same aggregates —
- * including exact per-tenant p50/p99 — as a struct, with to_json()
- * and export_metrics() surfaces.
+ * serve.queue_depth / serve.cards gauges, serve.jobs.* counters
+ * (incl. serve.jobs.shed), serve.health.* quarantine/probe counters
+ * and per-card breaker-state gauges, per-tenant simulated-latency
+ * histograms (serve.tenant_latency_us.<tenant>) and per-card
+ * occupancy gauges (serve.card_occupancy.<i>); quarantine windows
+ * are exported as spans on the Chrome trace's fleet-health track.
+ * stats() returns the same aggregates — including exact per-tenant
+ * p50/p99 — as a struct, with to_json() and export_metrics()
+ * surfaces.
  */
 
 #include <cstddef>
@@ -48,6 +73,7 @@
 #include <vector>
 
 #include "hw/config.h"
+#include "serve/health.h"
 #include "serve/job.h"
 #include "serve/scheduler.h"
 #include "serve/shard.h"
@@ -55,6 +81,8 @@
 #include "telemetry/metrics.h"
 
 namespace poseidon::serve {
+
+class ChaosInjector; // serve/chaos.h
 
 /// Knobs of one engine instance.
 struct ServeConfig
@@ -78,6 +106,17 @@ struct ServeConfig
     /// key upload); batching amortizes exactly this term.
     double dispatchCycles = 20000.0;
 
+    /// Per-card circuit-breaker knobs (serve/health.h).
+    HealthConfig health;
+
+    /// Admission control: queued jobs above this depth are shed
+    /// (lowest priority first) as Overloaded. 0 = unbounded.
+    std::size_t maxQueueDepth = 0;
+
+    /// Chaos fault schedule in the serve/chaos.h DSL ("" = none),
+    /// e.g. "CardDeath{card=0, cycle=2e6, duration=5e6}".
+    std::string chaos;
+
     /// Publish serve.* metrics into the global MetricsRegistry.
     bool exportTelemetry = true;
 };
@@ -88,6 +127,7 @@ struct TenantStats
     u64 completed = 0;
     u64 failed = 0;
     u64 expired = 0;
+    u64 shed = 0;
     double attainedCycles = 0.0; ///< card time consumed, incl. failures
     double p50LatencyCycles = 0.0;
     double p99LatencyCycles = 0.0;
@@ -100,9 +140,13 @@ struct ServeStats
     u64 completed = 0;
     u64 failed = 0;
     u64 expired = 0;
+    u64 shed = 0;         ///< dropped by admission control
     u64 retries = 0;      ///< fault-triggered re-executions
     u64 batches = 0;      ///< dispatches issued
     u64 maxQueueDepth = 0;
+    u64 quarantines = 0;  ///< circuit-breaker trips (all cards)
+    u64 readmissions = 0; ///< breakers re-closed after clean probes
+    u64 probes = 0;       ///< probe attempts executed
 
     /// Latest job finish (the serving horizon / makespan).
     double horizonCycles = 0.0;
@@ -113,6 +157,8 @@ struct ServeStats
 
     std::map<std::string, TenantStats> tenants;
     std::vector<CardStats> cards;
+    /// Breaker ledger per card (parallel to `cards`).
+    std::vector<CardHealth> health;
 
     /// Completed jobs per simulated second over the horizon.
     double throughput_jobs_per_sec() const;
@@ -137,6 +183,13 @@ class ServingEngine
 
     const ServeConfig& config() const { return cfg_; }
     const ShardManager& shards() const { return shards_; }
+
+    /// Fleet breaker state (mutated only inside drain(); read it
+    /// between drains, like shards()).
+    const HealthMonitor& health() const { return health_; }
+
+    /// The active chaos schedule ("" config = inactive injector).
+    const ChaosInjector& chaos() const { return *chaos_; }
 
     /**
      * Accept a job. Non-blocking and thread-safe; a named workload is
@@ -176,9 +229,24 @@ class ServingEngine
     void finish_job(QueuedJob &&qj, JobResult r);
     void refresh_gauges();
 
+    /// Shed one queued job as Overloaded at fleet time `cycle`.
+    void shed_job(QueuedJob &&qj, double cycle, const char *why);
+
+    /// Run one probe attempt on a HALF_OPEN/probe-eligible card at
+    /// time `T` (occupies the card; feeds the monitor).
+    void dispatch_probe(std::size_t card, double T);
+
+    /// Export quarantine windows onto the Chrome trace's
+    /// fleet-health track (called at the end of drain()).
+    void export_health_trace() const;
+
     ServeConfig cfg_;
     ShardManager shards_;
     Scheduler sched_;
+    HealthMonitor health_;
+    std::unique_ptr<ChaosInjector> chaos_;
+    isa::Trace probeTrace_;
+    std::vector<u64> probeSeq_;
 
     /// Guards submissions_/nextId_ and the aggregate counters below
     /// (stats() and queue_depth() read them from any thread).
@@ -189,10 +257,14 @@ class ServingEngine
     std::map<JobId, std::promise<JobResult>> promises_;
 
     double horizon_ = 0.0;
+    /// Latest round time drain() reached (the fleet clock sheds are
+    /// stamped with).
+    double clock_ = 0.0;
     u64 submitted_ = 0;
     u64 completed_ = 0;
     u64 failed_ = 0;
     u64 expired_ = 0;
+    u64 shed_ = 0;
     u64 retries_ = 0;
     u64 batches_ = 0;
     u64 maxQueueDepth_ = 0;

@@ -25,6 +25,7 @@
 #include <limits>
 #include <string>
 
+#include "common/status.h"
 #include "hw/sim.h"
 #include "isa/trace.h"
 
@@ -52,6 +53,17 @@ struct RetryPolicy
     /// declared faulty for this job (infinity: only silent corruption
     /// fails an attempt).
     double retryCycleBudget = std::numeric_limits<double>::infinity();
+
+    /// Exponential backoff between attempts, in simulated cycles:
+    /// attempt k+1 becomes eligible backoffBaseCycles *
+    /// backoffMultiplier^(k-1) cycles after attempt k failed (0
+    /// keeps the immediate-requeue behavior). Retries are
+    /// deadline-aware: when the backed-off arrival plus the estimated
+    /// cost (last attempt's cycles + dispatch overhead) cannot meet
+    /// the job's deadline, the retry is skipped and the job fails
+    /// immediately instead of burning a card on a doomed rerun.
+    double backoffBaseCycles = 0.0;
+    double backoffMultiplier = 2.0;
 };
 
 /// Lifecycle of a job inside the engine.
@@ -60,6 +72,7 @@ enum class JobState : unsigned {
     Completed, ///< ran to completion; JobResult::sim is valid
     Failed,    ///< every retry attempt exhausted on faulty runs
     Expired,   ///< missed its dispatch deadline while queued
+    Shed,      ///< dropped by admission control (typed Overloaded)
 };
 
 /// Short stable name of a state ("Queued", "Completed", ...).
@@ -88,8 +101,13 @@ struct JobResult
     /// Timing/traffic of the successful run (zeroed otherwise).
     hw::SimResult sim;
 
-    /// Human-readable failure reason for Failed / Expired.
+    /// Human-readable failure reason for Failed / Expired / Shed.
     std::string error;
+
+    /// Typed category of the failure, wire-safe for error frames
+    /// (kOk when Completed; kOverloaded when Shed; kFaultDetected
+    /// when Failed on exhausted/skipped retries).
+    ErrorCode errorCode = ErrorCode::kOk;
 
     /// Queueing + service latency in simulated cycles.
     double latency_cycles() const { return finishCycle - arrivalCycle; }

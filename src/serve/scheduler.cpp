@@ -51,9 +51,11 @@ Scheduler::live_head(std::deque<QueuedJob> &q, double now,
 }
 
 std::vector<QueuedJob>
-Scheduler::pick_batch(std::size_t card, std::size_t fleetSize, double now,
-                      std::vector<ExpiredJob> &expired)
+Scheduler::pick_batch(std::size_t card, double now,
+                      std::vector<ExpiredJob> &expired,
+                      const JobFilter &excluded)
 {
+    (void)card; // exclusion policy lives in the engine's filter
     // Choose the winning tenant: among arrived, non-excluded heads,
     // max priority, then least attained service, then tenant name
     // (map order) — all simulated-clock state, fully deterministic.
@@ -64,7 +66,7 @@ Scheduler::pick_batch(std::size_t card, std::size_t fleetSize, double now,
     for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
         const QueuedJob *head = live_head(it->second, now, expired);
         if (!head) continue;
-        if (fleetSize > 1 && head->excludeCard == card) continue;
+        if (excluded && excluded(*head)) continue;
         int prio = head->spec.priority;
         double att = attained_[it->first];
         if (best == tenants_.end() || prio > bestPrio ||
@@ -91,13 +93,62 @@ Scheduler::pick_batch(std::size_t card, std::size_t fleetSize, double now,
         if (next.spec.arrivalCycle > now) break;
         if (next.spec.priority != bestPrio) break;
         if (next.spec.batchKey != key) break;
-        if (fleetSize > 1 && next.excludeCard == card) break;
+        if (excluded && excluded(next)) break;
         if (next.spec.deadlineCycle < now) break; // let live_head expire it
         batch.push_back(std::move(q.front()));
         q.pop_front();
         --queued_;
     }
     return batch;
+}
+
+std::vector<QueuedJob>
+Scheduler::shed_to_depth(std::size_t target)
+{
+    std::vector<QueuedJob> shed;
+    while (queued_ > target) {
+        // The victim: lowest priority class, newest submission (the
+        // highest id) within it — deterministic and
+        // submission-order-respecting.
+        std::deque<QueuedJob> *victimQ = nullptr;
+        std::size_t victimIdx = 0;
+        for (auto &[tenant, q] : tenants_) {
+            (void)tenant;
+            for (std::size_t i = 0; i < q.size(); ++i) {
+                if (victimQ == nullptr ||
+                    q[i].spec.priority <
+                        (*victimQ)[victimIdx].spec.priority ||
+                    (q[i].spec.priority ==
+                         (*victimQ)[victimIdx].spec.priority &&
+                     q[i].id > (*victimQ)[victimIdx].id)) {
+                    victimQ = &q;
+                    victimIdx = i;
+                }
+            }
+        }
+        POSEIDON_CHECK(victimQ != nullptr,
+                       "shed_to_depth: depth/queue mismatch");
+        shed.push_back(std::move((*victimQ)[victimIdx]));
+        victimQ->erase(victimQ->begin() +
+                       static_cast<std::ptrdiff_t>(victimIdx));
+        --queued_;
+    }
+    return shed;
+}
+
+std::vector<QueuedJob>
+Scheduler::drain_all()
+{
+    std::vector<QueuedJob> all;
+    for (auto &[tenant, q] : tenants_) {
+        (void)tenant;
+        while (!q.empty()) {
+            all.push_back(std::move(q.front()));
+            q.pop_front();
+            --queued_;
+        }
+    }
+    return all;
 }
 
 void

@@ -36,8 +36,10 @@
  * amortization; maxBatch = 1 restores strict per-job fairness.
  */
 
+#include <algorithm>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -52,10 +54,22 @@ struct QueuedJob
     JobId id = 0;
     JobSpec spec;
     u64 attempt = 0; ///< attempts already consumed (0 = fresh)
-    /// Card the previous attempt faulted on (failover excludes it
-    /// while the fleet has another card); -1 = none.
-    std::size_t excludeCard = static_cast<std::size_t>(-1);
+    /// Every card a previous attempt of this job faulted on. Failover
+    /// excludes all of them while the fleet still has an untried live
+    /// card; once the set covers the live fleet the exclusion is
+    /// waived (there is nowhere else to go).
+    std::vector<std::size_t> faultedCards;
+
+    bool has_faulted_on(std::size_t card) const
+    {
+        return std::find(faultedCards.begin(), faultedCards.end(),
+                         card) != faultedCards.end();
+    }
 };
+
+/// Per-card exclusion predicate the engine hands to pick_batch():
+/// true = this job must not run on the asking card.
+using JobFilter = std::function<bool(const QueuedJob &)>;
 
 /// Head-of-line jobs the scheduler expired during a pick.
 struct ExpiredJob
@@ -84,14 +98,27 @@ class Scheduler
     /**
      * Pick the next batch for card `card` at simulated time `now`.
      * Expired head jobs encountered while picking are appended to
-     * `expired` (already dequeued). Returns an empty vector when no
-     * arrived, non-excluded job exists. `fleetSize` > 1 enables
-     * exclusion; with a single card a failed-over job may re-run on
-     * the same card (there is nowhere else to go).
+     * `expired` (already dequeued). `excluded` is the engine's
+     * per-card failover filter (jobs that already faulted on this
+     * card); pass nullptr for no exclusion. Returns an empty vector
+     * when no arrived, non-excluded job exists.
      */
-    std::vector<QueuedJob> pick_batch(std::size_t card,
-                                      std::size_t fleetSize, double now,
-                                      std::vector<ExpiredJob> &expired);
+    std::vector<QueuedJob> pick_batch(std::size_t card, double now,
+                                      std::vector<ExpiredJob> &expired,
+                                      const JobFilter &excluded);
+
+    /**
+     * Admission control: remove queued jobs until depth() <= target,
+     * shedding the lowest-priority work first and, within a priority
+     * class, the most recently submitted job first (highest id) — the
+     * oldest high-priority work survives. Returns the shed jobs.
+     */
+    std::vector<QueuedJob> shed_to_depth(std::size_t target);
+
+    /// Remove and return every queued job (the all-cards-dead path:
+    /// nothing can serve them, so the engine sheds them as
+    /// Overloaded).
+    std::vector<QueuedJob> drain_all();
 
     /// Charge `cycles` of attained service to `tenant` (fairness
     /// accounting; includes failed attempts — they consumed the card).

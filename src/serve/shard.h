@@ -36,6 +36,7 @@ struct CardStats
     u64 jobs = 0;               ///< job attempts executed (incl. failed)
     u64 batches = 0;            ///< dispatches received
     u64 failedAttempts = 0;     ///< attempts that tripped the fault guard
+    u64 probes = 0;             ///< health probes executed (HALF_OPEN)
 
     /// busy / horizon share (0 when the horizon is empty).
     double occupancy(double horizonCycles) const

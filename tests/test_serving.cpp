@@ -400,6 +400,96 @@ TEST(Serving, JobStateNames)
     EXPECT_STREQ(serve::to_string(JobState::Completed), "Completed");
     EXPECT_STREQ(serve::to_string(JobState::Failed), "Failed");
     EXPECT_STREQ(serve::to_string(JobState::Expired), "Expired");
+    EXPECT_STREQ(serve::to_string(JobState::Shed), "Shed");
+}
+
+TEST(Serving, SubmitRejectsInvalidSpecs)
+{
+    ServeConfig cfg;
+    cfg.exportTelemetry = false;
+    ServingEngine eng(cfg);
+
+    JobSpec zeroAttempts = job("a", "zero");
+    zeroAttempts.retry.maxAttempts = 0; // could never run
+    EXPECT_THROW(eng.submit(std::move(zeroAttempts)),
+                 poseidon::InvalidArgument);
+
+    JobSpec doomed = job("a", "doomed");
+    doomed.arrivalCycle = 1000.0;
+    doomed.deadlineCycle = 10.0; // deadline before arrival
+    EXPECT_THROW(eng.submit(std::move(doomed)),
+                 poseidon::InvalidArgument);
+
+    JobSpec negBackoff = job("a", "neg");
+    negBackoff.retry.backoffBaseCycles = -1.0;
+    EXPECT_THROW(eng.submit(std::move(negBackoff)),
+                 poseidon::InvalidArgument);
+
+    JobSpec shrinkingBackoff = job("a", "shrink");
+    shrinkingBackoff.retry.backoffMultiplier = 0.5;
+    EXPECT_THROW(eng.submit(std::move(shrinkingBackoff)),
+                 poseidon::InvalidArgument);
+
+    // A rejected submit leaves no residue: the engine still drains
+    // and serves valid work.
+    JobTicket t = eng.submit(job("a", "fine"));
+    eng.drain();
+    EXPECT_EQ(t.result.get().state, JobState::Completed);
+}
+
+TEST(Serving, FailoverExcludesEveryPreviouslyFaultedCard)
+{
+    // Cards 0 and 1 corrupt everything; card 2 is clean. A job that
+    // faults on 0 then 1 must land on 2 — excluding the *set* of
+    // faulted cards, not just the most recent one (the regression:
+    // attempt 3 used to be allowed back onto card 0).
+    hw::HwConfig flaky = hw::HwConfig::poseidon_u280();
+    flaky.faults.ber = 1e-4;
+    flaky.faults.secded = false;
+    ServeConfig cfg;
+    cfg.fleet = {flaky, flaky, hw::HwConfig::poseidon_u280()};
+    cfg.maxBatch = 1;
+    cfg.exportTelemetry = false;
+    ServingEngine eng(cfg);
+
+    JobSpec s = job("a", "wandering", u64(1) << 20);
+    s.retry.maxAttempts = 3;
+    JobTicket t = eng.submit(std::move(s));
+    eng.drain();
+
+    JobResult r = t.result.get();
+    EXPECT_EQ(r.state, JobState::Completed);
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(r.card, 2u); // both faulted cards were excluded
+
+    ServeStats st = eng.stats();
+    EXPECT_EQ(st.cards[0].jobs + st.cards[1].jobs, 2u);
+    EXPECT_EQ(st.cards[2].jobs, 1u);
+}
+
+TEST(Serving, SingleCardFleetWaivesExclusionInsteadOfStalling)
+{
+    // One card, and it faults: with nowhere else to go, the rerun
+    // must happen on the same card (the exclusion is waived), and the
+    // engine must terminate rather than wait for another card.
+    hw::HwConfig flaky = hw::HwConfig::poseidon_u280();
+    flaky.faults.ber = 1e-4;
+    flaky.faults.secded = false;
+    ServeConfig cfg;
+    cfg.fleet = {flaky};
+    cfg.maxBatch = 1;
+    cfg.exportTelemetry = false;
+    ServingEngine eng(cfg);
+
+    JobSpec s = job("a", "stuck", u64(1) << 20);
+    s.retry.maxAttempts = 2;
+    JobTicket t = eng.submit(std::move(s));
+    eng.drain();
+
+    JobResult r = t.result.get();
+    EXPECT_EQ(r.state, JobState::Failed);
+    EXPECT_EQ(r.attempts, 2u); // both attempts ran, same card
+    EXPECT_EQ(eng.stats().cards[0].jobs, 2u);
 }
 
 } // namespace
