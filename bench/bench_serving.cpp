@@ -6,8 +6,18 @@
 // Every number is on the modeled 300 MHz accelerator clock, so results
 // are bit-identical across host machines and POSEIDON_THREADS
 // settings; the host thread pool only shortens wall time.
+//
+// Besides throughput/latency, each saturated cell reports where the
+// end-to-end cycles went (queue wait / batch delay / backoff / retry
+// overhead / execution shares, rebuilt from the lifecycle journal) so
+// the regression gate can watch phase drift, not just p99. The
+// saturated largest-fleet journal itself is written next to the BENCH
+// document as JOURNAL_serving.jsonl for poseidon_explain /
+// validate_journal.
 
+#include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -15,6 +25,7 @@
 #include "common/table.h"
 #include "isa/compiler.h"
 #include "serve/engine.h"
+#include "serve/latency_breakdown.h"
 
 using namespace poseidon;
 
@@ -43,6 +54,10 @@ struct CellResult
     double p50 = 0.0; ///< worst tenant p50, simulated us
     double p99 = 0.0; ///< worst tenant p99, simulated us
     serve::ServeStats stats;
+    /// Fleet-wide share of end-to-end cycles per lifecycle phase,
+    /// rebuilt from the journal (indexed by serve::Phase).
+    std::array<double, serve::kPhaseCount> phaseShare{};
+    std::string journalJsonl; ///< the cell's lifecycle journal
 };
 
 /// Run `clients` closed-loop clients (each submits its next request
@@ -97,6 +112,22 @@ run_cell(std::size_t cards, std::size_t clients, u64 perClient)
         out.p50 = std::max(out.p50, t.p50LatencyCycles * toUs);
         out.p99 = std::max(out.p99, t.p99LatencyCycles * toUs);
     }
+
+    serve::BreakdownReport br = serve::decompose(eng.journal());
+    std::array<double, serve::kPhaseCount> sums{};
+    double total = 0.0;
+    for (const serve::JobBreakdown &jb : br.jobs) {
+        total += jb.endToEndCycles;
+        for (std::size_t p = 0; p < serve::kPhaseCount; ++p) {
+            sums[p] += jb.phaseCycles[p];
+        }
+    }
+    if (total > 0.0) {
+        for (std::size_t p = 0; p < serve::kPhaseCount; ++p) {
+            out.phaseShare[p] = sums[p] / total;
+        }
+    }
+    out.journalJsonl = eng.journal().to_jsonl();
     return out;
 }
 
@@ -130,6 +161,7 @@ main(int argc, char **argv)
 
     // saturated[cards] = throughput at the highest offered load.
     std::vector<double> saturated(kCards.size(), 0.0);
+    std::string saturatedJournal; // largest fleet, highest load
     for (std::size_t ci = 0; ci < kCards.size(); ++ci) {
         for (std::size_t li = 0; li < kClients.size(); ++li) {
             CellResult r = run_cell(kCards[ci], kClients[li],
@@ -163,10 +195,39 @@ main(int argc, char **argv)
                     h.metric(sk + ".serve.tenant_p99_cycles." + tenant,
                              t.p99LatencyCycles);
                 }
+                for (std::size_t p = 0; p < serve::kPhaseCount; ++p) {
+                    h.metric(sk + ".serve.phase_share." +
+                                 serve::to_string(
+                                     static_cast<serve::Phase>(p)),
+                             r.phaseShare[p]);
+                }
+                if (ci + 1 == kCards.size()) {
+                    saturatedJournal = std::move(r.journalJsonl);
+                }
             }
         }
     }
     table.print();
+
+    // Drop the saturated largest-fleet journal next to the BENCH
+    // document so CI can validate it and operators can replay it
+    // through poseidon_explain.
+    if (!saturatedJournal.empty()) {
+        std::string out = h.output_path();
+        std::size_t slash = out.find_last_of('/');
+        std::string dir =
+            slash == std::string::npos ? "" : out.substr(0, slash + 1);
+        std::string path = dir + "JOURNAL_serving.jsonl";
+        std::ofstream f(path, std::ios::binary);
+        if (f) f << saturatedJournal;
+        if (!f) {
+            std::fprintf(stderr,
+                         "bench_serving: cannot write %s\n",
+                         path.c_str());
+        } else {
+            std::printf("\n[bench] wrote %s\n", path.c_str());
+        }
+    }
 
     double speedup = saturated[0] > 0.0
                          ? saturated[kCards.size() - 1] / saturated[0]

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "hw/faults.h"
+#include "serve/latency_breakdown.h"
 
 namespace poseidon::serve {
 
@@ -127,6 +128,48 @@ parse_clause(const std::string &raw)
                                         strip(item.substr(eq + 1))));
     }
     return c;
+}
+
+/// Journal-vs-engine cross-check of one finished run: decompose the
+/// journal and demand that it reproduces the engine's per-state
+/// counts and every per-tenant p50/p99 *bit-for-bit*, and that every
+/// job's phase expansion distills to its end-to-end latency (the
+/// conservation invariant, re-asserted from outside decompose()).
+bool
+journal_matches_stats(const Journal &journal, const ServeStats &s)
+{
+    if (journal.empty()) return false;
+    BreakdownReport br = decompose(journal);
+    if (br.jobs.size() != s.submitted) return false;
+    u64 completed = 0, failed = 0, expired = 0, shed = 0;
+    for (const JobBreakdown &jb : br.jobs) {
+        if (jb.phase_sum() != jb.endToEndCycles) return false;
+        switch (jb.state) {
+          case JobState::Completed: ++completed; break;
+          case JobState::Failed: ++failed; break;
+          case JobState::Expired: ++expired; break;
+          case JobState::Shed: ++shed; break;
+          case JobState::Queued: return false;
+        }
+    }
+    if (completed != s.completed || failed != s.failed ||
+        expired != s.expired || shed != s.shed) {
+        return false;
+    }
+    for (const auto &[tenant, t] : s.tenants) {
+        auto it = br.tenants.find(tenant);
+        if (it == br.tenants.end()) return false;
+        const PhaseAccum &acc = it->second;
+        if (acc.completed != t.completed || acc.failed != t.failed ||
+            acc.expired != t.expired || acc.shed != t.shed) {
+            return false;
+        }
+        if (acc.p50LatencyCycles != t.p50LatencyCycles ||
+            acc.p99LatencyCycles != t.p99LatencyCycles) {
+            return false;
+        }
+    }
+    return true;
 }
 
 } // namespace
@@ -335,6 +378,7 @@ CampaignReport::to_json() const
     j.set("probes", Json(probes));
     j.set("conserved", Json(conserved));
     j.set("all_tickets_resolved", Json(allTicketsResolved));
+    j.set("journal_consistent", Json(journalConsistent));
     j.set("availability", Json(availability));
     j.set("goodput_jobs_per_sec", Json(goodputJobsPerSec));
     j.set("horizon_cycles", Json(horizonCycles));
@@ -427,6 +471,9 @@ run_scenario(const Scenario &sc)
                   static_cast<double>(rep.submitted)
             : 0.0;
     rep.goodputJobsPerSec = rep.stats.throughput_jobs_per_sec();
+    rep.journalJsonl = engine.journal().to_jsonl();
+    rep.journalConsistent =
+        journal_matches_stats(engine.journal(), rep.stats);
     return rep;
 }
 

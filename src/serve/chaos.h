@@ -186,14 +186,22 @@ struct CampaignReport
     /// Every future became ready (part of `conserved`, reported
     /// separately for diagnostics).
     bool allTicketsResolved = false;
+    /// The lifecycle journal agreed with the engine: decompose()
+    /// reproduced the per-state counts and every per-tenant p50/p99
+    /// bit-for-bit, and every job conserved its phase cycles (the
+    /// decompose() POSEIDON_CHECKs did not fire).
+    bool journalConsistent = false;
 
     double availability = 0.0; ///< completed / submitted
     double goodputJobsPerSec = 0.0;
     double horizonCycles = 0.0;
 
     ServeStats stats;
+    /// Serialized journal (JSONL) of the run — compare across thread
+    /// counts for byte-identical determinism.
+    std::string journalJsonl;
 
-    bool ok() const { return conserved; }
+    bool ok() const { return conserved && journalConsistent; }
     telemetry::Json to_json() const;
 };
 

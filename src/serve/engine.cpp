@@ -18,20 +18,6 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Exact quantile of a latency sample (linear-interpolation free:
-/// nearest-rank, which is reproducible and monotone).
-double
-quantile(std::vector<double> sorted, double q)
-{
-    if (sorted.empty()) return 0.0;
-    std::sort(sorted.begin(), sorted.end());
-    std::size_t rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(sorted.size())));
-    if (rank == 0) rank = 1;
-    if (rank > sorted.size()) rank = sorted.size();
-    return sorted[rank - 1];
-}
-
 std::string
 derive_batch_key(const isa::Trace &trace)
 {
@@ -111,6 +97,7 @@ ServeStats::to_json() const
     Json jt = Json::object();
     for (const auto &[name, t] : tenants) {
         Json one = Json::object();
+        one.set("submitted", Json(t.submitted));
         one.set("completed", Json(t.completed));
         one.set("failed", Json(t.failed));
         one.set("expired", Json(t.expired));
@@ -177,6 +164,18 @@ ServeStats::export_metrics(telemetry::MetricsRegistry &reg) const
             .set(h.ewmaRetryShare);
     }
     for (const auto &[name, t] : tenants) {
+        reg.gauge("serve.tenant_submitted." + name)
+            .set(static_cast<double>(t.submitted));
+        reg.gauge("serve.tenant_completed." + name)
+            .set(static_cast<double>(t.completed));
+        reg.gauge("serve.tenant_failed." + name)
+            .set(static_cast<double>(t.failed));
+        reg.gauge("serve.tenant_expired." + name)
+            .set(static_cast<double>(t.expired));
+        reg.gauge("serve.tenant_shed." + name)
+            .set(static_cast<double>(t.shed));
+        reg.gauge("serve.tenant_attained_cycles." + name)
+            .set(t.attainedCycles);
         reg.gauge("serve.tenant_p50_cycles." + name)
             .set(t.p50LatencyCycles);
         reg.gauge("serve.tenant_p99_cycles." + name)
@@ -197,6 +196,10 @@ ServingEngine::ServingEngine(ServeConfig cfg)
 {
     POSEIDON_REQUIRE(cfg_.dispatchCycles >= 0.0,
                      "ServingEngine: negative dispatch overhead");
+    journal_.set_enabled(cfg_.journal);
+    journal_.set_meta(shards_.card(0).config().clockGHz,
+                      shards_.size());
+    sched_.set_journal(cfg_.journal ? &journal_ : nullptr);
 }
 
 ServingEngine::~ServingEngine() = default;
@@ -249,6 +252,17 @@ ServingEngine::submit(JobSpec spec)
     p.qj.id = nextId_++;
     ticket.id = p.qj.id;
     ++submitted_;
+    ++tenants_[p.qj.spec.tenant].submitted;
+    if (journal_.enabled()) {
+        JournalEvent ev;
+        ev.kind = JournalEventKind::Submitted;
+        ev.job = p.qj.id;
+        ev.cycle = p.qj.spec.arrivalCycle;
+        ev.tenant = p.qj.spec.tenant;
+        ev.name = p.qj.spec.name;
+        ev.priority = p.qj.spec.priority;
+        journal_.append(std::move(ev));
+    }
     submissions_.push_back(std::move(p));
     if (cfg_.exportTelemetry) telemetry::count("serve.jobs.submitted");
     return ticket;
@@ -297,6 +311,26 @@ ServingEngine::finish_job(QueuedJob &&qj, JobResult r)
             POSEIDON_CHECK(false, "finish_job with non-terminal state");
         }
         horizon_ = std::max(horizon_, r.finishCycle);
+    }
+    if (journal_.enabled()) {
+        JournalEvent ev;
+        switch (r.state) {
+          case JobState::Completed:
+            ev.kind = JournalEventKind::Completed;
+            ev.value = r.latency_cycles();
+            break;
+          case JobState::Failed: ev.kind = JournalEventKind::Failed; break;
+          case JobState::Expired: ev.kind = JournalEventKind::Expired; break;
+          default: ev.kind = JournalEventKind::Shed; break;
+        }
+        ev.job = r.id;
+        ev.cycle = r.finishCycle;
+        ev.tenant = r.tenant;
+        ev.name = r.name;
+        ev.card = r.card;
+        ev.attempt = r.attempts;
+        ev.detail = r.error;
+        journal_.append(std::move(ev));
     }
     if (cfg_.exportTelemetry && telemetry::enabled()) {
         double clock = shards_.card(0).config().clockGHz;
@@ -371,6 +405,16 @@ ServingEngine::dispatch_probe(std::size_t card, double T)
     cs.freeAtCycle = T + busy;
     ++cs.probes;
     health_.record_probe(card, T + busy, ok);
+    if (journal_.enabled()) {
+        JournalEvent ev;
+        ev.kind = JournalEventKind::ProbeInteraction;
+        ev.cycle = T; // job = 0: fleet-level event
+        ev.card = card;
+        ev.attempt = seq + 1;
+        ev.value = busy;
+        ev.failed = !ok;
+        journal_.append(std::move(ev));
+    }
     if (cfg_.exportTelemetry) {
         telemetry::count("serve.health.probes");
         if (!ok) telemetry::count("serve.health.probe_failures");
@@ -446,6 +490,70 @@ ServingEngine::export_health_trace() const
 }
 
 void
+ServingEngine::export_job_flows(const BreakdownReport &br) const
+{
+    telemetry::Tracer &tracer = telemetry::Tracer::global();
+    if (!tracer.active()) return;
+    double clock = shards_.card(0).config().clockGHz;
+    auto us = [clock](double cycles) {
+        return cycles / (clock * 1e9) * 1e6;
+    };
+    // Stable per-tenant queue tracks (map order = name order).
+    std::map<std::string, int> queueTid;
+    for (const auto &[tenant, acc] : br.tenants) {
+        (void)acc;
+        int tid = 350 + static_cast<int>(queueTid.size());
+        queueTid.emplace(tenant, tid);
+        tracer.set_thread_name(telemetry::Tracer::kSimPid, tid,
+                               "queue " + tenant);
+    }
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+        tracer.set_thread_name(telemetry::Tracer::kSimPid,
+                               300 + static_cast<int>(c),
+                               "card" + std::to_string(c) + " serve");
+    }
+    for (const JobBreakdown &jb : br.jobs) {
+        if (jb.attemptSpans.empty()) continue;
+        int qTid = queueTid[jb.tenant];
+        std::string label = "job" + std::to_string(jb.id);
+        if (!jb.name.empty()) label += " " + jb.name;
+
+        // Queue slice: first arrival until the first dispatch.
+        const AttemptSpan &first = jb.attemptSpans.front();
+        telemetry::TraceEvent q;
+        q.name = label + " queued";
+        q.pid = telemetry::Tracer::kSimPid;
+        q.tid = qTid;
+        q.tsUs = us(jb.firstArrivalCycle);
+        q.durUs = us(first.dispatchCycle - jb.firstArrivalCycle);
+        q.args.emplace_back("job", telemetry::Json(jb.id));
+        q.args.emplace_back("prio", telemetry::Json(jb.priority));
+        tracer.complete_event(std::move(q));
+        tracer.flow_event('s', jb.id, label,
+                          telemetry::Tracer::kSimPid, qTid,
+                          us(jb.firstArrivalCycle));
+
+        for (std::size_t i = 0; i < jb.attemptSpans.size(); ++i) {
+            const AttemptSpan &at = jb.attemptSpans[i];
+            int cardTid = 300 + static_cast<int>(at.card);
+            telemetry::TraceEvent e;
+            e.name = label + " attempt " + std::to_string(at.attempt);
+            e.pid = telemetry::Tracer::kSimPid;
+            e.tid = cardTid;
+            e.tsUs = us(at.startCycle);
+            e.durUs = us(at.endCycle - at.startCycle);
+            e.args.emplace_back("job", telemetry::Json(jb.id));
+            e.args.emplace_back("failed", telemetry::Json(at.failed));
+            tracer.complete_event(std::move(e));
+            bool last = i + 1 == jb.attemptSpans.size();
+            tracer.flow_event(last ? 'f' : 't', jb.id, label,
+                              telemetry::Tracer::kSimPid, cardTid,
+                              us(at.startCycle));
+        }
+    }
+}
+
+void
 ServingEngine::drain()
 {
     /// One card's work for the current round.
@@ -466,6 +574,13 @@ ServingEngine::drain()
             std::lock_guard<std::mutex> lk(mu_);
             for (Pending &p : submissions_) {
                 promises_.emplace(p.qj.id, std::move(p.promise));
+                if (journal_.enabled()) {
+                    JournalEvent ev;
+                    ev.kind = JournalEventKind::Admitted;
+                    ev.job = p.qj.id;
+                    ev.cycle = p.qj.spec.arrivalCycle;
+                    journal_.append(std::move(ev));
+                }
                 sched_.enqueue(std::move(p.qj));
             }
             submissions_.clear();
@@ -676,6 +791,12 @@ ServingEngine::drain()
                 bool overBudget = sim.faults.retryCycles >
                                   qj.spec.retry.retryCycleBudget;
                 bool failedAttempt = silent || overBudget;
+                if (journal_.enabled()) {
+                    shards_.journal_attempt(journal_, a.card, qj.id,
+                                            attemptsUsed, start, cum,
+                                            sim.cycles,
+                                            failedAttempt);
+                }
 
                 // Feed the circuit breaker; a trip quarantines the
                 // card from the next round on (queued work flows to
@@ -709,6 +830,28 @@ ServingEngine::drain()
                                 qj.faultedCards.push_back(a.card);
                             }
                             qj.spec.arrivalCycle = nextArrival;
+                            if (journal_.enabled()) {
+                                JournalEvent fr;
+                                fr.kind =
+                                    JournalEventKind::FaultRetry;
+                                fr.job = qj.id;
+                                fr.cycle = cum;
+                                fr.card = a.card;
+                                fr.attempt = attemptsUsed;
+                                fr.detail =
+                                    silent
+                                        ? "silent corruption past ECC"
+                                        : "ECC retry budget exceeded";
+                                journal_.append(std::move(fr));
+                                JournalEvent bo;
+                                bo.kind = JournalEventKind::
+                                    BackoffScheduled;
+                                bo.job = qj.id;
+                                bo.cycle = cum;
+                                bo.attempt = attemptsUsed;
+                                bo.value = nextArrival;
+                                journal_.append(std::move(bo));
+                            }
                             {
                                 std::lock_guard<std::mutex> lk(mu_);
                                 ++retries_;
@@ -772,6 +915,28 @@ ServingEngine::drain()
     if (cfg_.exportTelemetry && telemetry::enabled()) {
         stats().export_metrics(telemetry::MetricsRegistry::global());
     }
+    if (journal_.enabled() && !journal_.empty()) {
+        // Every accepted job is terminal here, so the journal
+        // decomposes cleanly; the conservation invariant inside
+        // decompose() doubles as an end-of-drain self-check.
+        BreakdownReport br = decompose(journal_);
+        if (cfg_.exportTelemetry && telemetry::enabled()) {
+            br.export_metrics(telemetry::MetricsRegistry::global(),
+                              breakdownExportedJobs_);
+            if (!cfg_.slo.empty()) {
+                SloReport slo = evaluate_slo(br, cfg_.slo);
+                slo.export_metrics(
+                    telemetry::MetricsRegistry::global());
+                if (slo.alerts > 0) {
+                    telemetry::count(
+                        "serve.slo.alert_events",
+                        static_cast<double>(slo.alerts));
+                }
+            }
+        }
+        export_job_flows(br);
+        breakdownExportedJobs_ = br.jobs.size();
+    }
 }
 
 ServeStats
@@ -796,8 +961,10 @@ ServingEngine::stats() const
     for (auto &[tenant, t] : s.tenants) {
         auto it = latencies_.find(tenant);
         if (it != latencies_.end()) {
-            t.p50LatencyCycles = quantile(it->second, 0.50);
-            t.p99LatencyCycles = quantile(it->second, 0.99);
+            t.p50LatencyCycles =
+                telemetry::exact_quantile(it->second, 0.50);
+            t.p99LatencyCycles =
+                telemetry::exact_quantile(it->second, 0.99);
         }
     }
     s.cards = shards_.stats();

@@ -75,6 +75,8 @@
 #include "hw/config.h"
 #include "serve/health.h"
 #include "serve/job.h"
+#include "serve/journal.h"
+#include "serve/latency_breakdown.h"
 #include "serve/scheduler.h"
 #include "serve/shard.h"
 #include "telemetry/json.h"
@@ -119,11 +121,22 @@ struct ServeConfig
 
     /// Publish serve.* metrics into the global MetricsRegistry.
     bool exportTelemetry = true;
+
+    /// Record the per-job lifecycle journal (serve/journal.h). At the
+    /// end of drain() the journal is decomposed into phase waterfalls
+    /// (serve/latency_breakdown.h) whose histograms/gauges are
+    /// published when exportTelemetry is also on.
+    bool journal = true;
+
+    /// Declarative SLO (per-priority p99 targets + error budget);
+    /// empty = no SLO evaluation. Requires `journal`.
+    SloConfig slo;
 };
 
 /// Aggregate per-tenant outcome (simulated time).
 struct TenantStats
 {
+    u64 submitted = 0;
     u64 completed = 0;
     u64 failed = 0;
     u64 expired = 0;
@@ -191,6 +204,11 @@ class ServingEngine
     /// The active chaos schedule ("" config = inactive injector).
     const ChaosInjector& chaos() const { return *chaos_; }
 
+    /// The lifecycle journal (empty when ServeConfig::journal is
+    /// off). Read it between drains; serialize with
+    /// journal().to_jsonl() or decompose() it directly.
+    const Journal& journal() const { return journal_; }
+
     /**
      * Accept a job. Non-blocking and thread-safe; a named workload is
      * resolved (and an empty batchKey derived) immediately, so an
@@ -240,10 +258,18 @@ class ServingEngine
     /// fleet-health track (called at the end of drain()).
     void export_health_trace() const;
 
+    /// Export per-job queue/attempt slices + flow arrows linking them
+    /// onto the Chrome trace's fleet tracks (end of drain()).
+    void export_job_flows(const BreakdownReport &br) const;
+
     ServeConfig cfg_;
     ShardManager shards_;
     Scheduler sched_;
     HealthMonitor health_;
+    Journal journal_;
+    /// Jobs whose phase histograms were already published by an
+    /// earlier drain() (index into the decomposed report).
+    std::size_t breakdownExportedJobs_ = 0;
     std::unique_ptr<ChaosInjector> chaos_;
     isa::Trace probeTrace_;
     std::vector<u64> probeSeq_;

@@ -1,0 +1,269 @@
+#include "serve/journal.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace poseidon::serve {
+
+const char*
+to_string(JournalEventKind k)
+{
+    switch (k) {
+      case JournalEventKind::Submitted: return "Submitted";
+      case JournalEventKind::Admitted: return "Admitted";
+      case JournalEventKind::Enqueued: return "Enqueued";
+      case JournalEventKind::BatchFormed: return "BatchFormed";
+      case JournalEventKind::Dispatched: return "Dispatched";
+      case JournalEventKind::AttemptStart: return "AttemptStart";
+      case JournalEventKind::AttemptEnd: return "AttemptEnd";
+      case JournalEventKind::FaultRetry: return "FaultRetry";
+      case JournalEventKind::BackoffScheduled: return "BackoffScheduled";
+      case JournalEventKind::ProbeInteraction: return "ProbeInteraction";
+      case JournalEventKind::Completed: return "Completed";
+      case JournalEventKind::Failed: return "Failed";
+      case JournalEventKind::Expired: return "Expired";
+      case JournalEventKind::Shed: return "Shed";
+    }
+    return "?";
+}
+
+bool
+journal_kind_from_string(const std::string &s, JournalEventKind &out)
+{
+    static constexpr JournalEventKind kAll[] = {
+        JournalEventKind::Submitted,        JournalEventKind::Admitted,
+        JournalEventKind::Enqueued,         JournalEventKind::BatchFormed,
+        JournalEventKind::Dispatched,       JournalEventKind::AttemptStart,
+        JournalEventKind::AttemptEnd,       JournalEventKind::FaultRetry,
+        JournalEventKind::BackoffScheduled, JournalEventKind::ProbeInteraction,
+        JournalEventKind::Completed,        JournalEventKind::Failed,
+        JournalEventKind::Expired,          JournalEventKind::Shed,
+    };
+    for (JournalEventKind k : kAll) {
+        if (s == to_string(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+telemetry::Json
+JournalEvent::to_json() const
+{
+    using telemetry::Json;
+    // Fixed key order + default-suppressed fields: the serialized
+    // line is a pure function of the event, which is what the
+    // byte-identical determinism guarantee rests on.
+    Json j = Json::object();
+    j.set("ev", Json(to_string(kind)));
+    j.set("job", Json(job));
+    j.set("cycle", Json(cycle));
+    if (!tenant.empty()) j.set("tenant", Json(tenant));
+    if (!name.empty()) j.set("name", Json(name));
+    if (priority != 0) j.set("prio", Json(priority));
+    if (card != kNoCard) {
+        j.set("card", Json(static_cast<u64>(card)));
+    }
+    if (attempt != 0) j.set("attempt", Json(attempt));
+    if (batch != 0) j.set("batch", Json(batch));
+    if (batchSize != 0) j.set("size", Json(batchSize));
+    if (value != 0.0) j.set("value", Json(value));
+    if (failed) j.set("failed", Json(true));
+    if (!detail.empty()) j.set("detail", Json(detail));
+    return j;
+}
+
+JournalEvent
+JournalEvent::from_json(const telemetry::Json &j)
+{
+    POSEIDON_REQUIRE_T(ParseError, j.is_object(),
+                       "journal event is not a JSON object");
+    JournalEvent ev;
+    POSEIDON_REQUIRE_T(ParseError,
+                       j.contains("ev") && j.contains("job") &&
+                           j.contains("cycle"),
+                       "journal event misses ev/job/cycle");
+    POSEIDON_REQUIRE_T(
+        ParseError,
+        journal_kind_from_string(j.at("ev").as_string(), ev.kind),
+        "unknown journal event kind \"" << j.at("ev").as_string()
+                                        << "\"");
+    ev.job = static_cast<JobId>(j.at("job").as_number());
+    ev.cycle = j.at("cycle").as_number();
+    if (j.contains("tenant")) ev.tenant = j.at("tenant").as_string();
+    if (j.contains("name")) ev.name = j.at("name").as_string();
+    if (j.contains("prio")) {
+        ev.priority = static_cast<int>(j.at("prio").as_number());
+    }
+    if (j.contains("card")) {
+        ev.card = static_cast<std::size_t>(j.at("card").as_number());
+    }
+    if (j.contains("attempt")) {
+        ev.attempt = static_cast<u64>(j.at("attempt").as_number());
+    }
+    if (j.contains("batch")) {
+        ev.batch = static_cast<u64>(j.at("batch").as_number());
+    }
+    if (j.contains("size")) {
+        ev.batchSize = static_cast<u64>(j.at("size").as_number());
+    }
+    if (j.contains("value")) ev.value = j.at("value").as_number();
+    if (j.contains("failed")) ev.failed = j.at("failed").as_bool();
+    if (j.contains("detail")) ev.detail = j.at("detail").as_string();
+    return ev;
+}
+
+Journal::Journal(Journal &&o) noexcept
+    : enabled_(o.enabled_),
+      clockGHz_(o.clockGHz_),
+      cards_(o.cards_),
+      nextBatch_(o.nextBatch_),
+      events_(std::move(o.events_))
+{
+}
+
+Journal&
+Journal::operator=(Journal &&o) noexcept
+{
+    if (this != &o) {
+        enabled_ = o.enabled_;
+        clockGHz_ = o.clockGHz_;
+        cards_ = o.cards_;
+        nextBatch_ = o.nextBatch_;
+        events_ = std::move(o.events_);
+    }
+    return *this;
+}
+
+void
+Journal::set_meta(double clockGHz, std::size_t cards)
+{
+    clockGHz_ = clockGHz;
+    cards_ = cards;
+}
+
+void
+Journal::append(JournalEvent ev)
+{
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(std::move(ev));
+}
+
+u64
+Journal::next_batch_id()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return nextBatch_++;
+}
+
+std::size_t
+Journal::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+}
+
+std::string
+Journal::to_jsonl() const
+{
+    using telemetry::Json;
+    std::lock_guard<std::mutex> lk(mu_);
+    Json header = Json::object();
+    header.set("schema", Json(kSchemaName));
+    header.set("schema_version", Json(kSchemaVersion));
+    header.set("clock_ghz", Json(clockGHz_));
+    header.set("cards", Json(static_cast<u64>(cards_)));
+    header.set("events", Json(static_cast<u64>(events_.size())));
+    std::string out = header.dump();
+    out += '\n';
+    for (const JournalEvent &ev : events_) {
+        out += ev.to_json().dump();
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+Journal::write_jsonl(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << to_jsonl();
+    return static_cast<bool>(out);
+}
+
+Journal
+Journal::parse_jsonl(const std::string &text)
+{
+    using telemetry::Json;
+    Journal jr;
+    std::istringstream in(text);
+    std::string line;
+    bool sawHeader = false;
+    std::size_t lineNo = 0;
+    std::size_t declared = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty()) continue;
+        Json j = Json::parse(line); // throws ParseError with offset
+        if (!sawHeader) {
+            POSEIDON_REQUIRE_T(
+                ParseError,
+                j.is_object() && j.contains("schema") &&
+                    j.at("schema").as_string() == kSchemaName,
+                "journal line 1 is not a " << kSchemaName
+                                           << " header");
+            POSEIDON_REQUIRE_T(
+                ParseError,
+                j.contains("schema_version") &&
+                    j.at("schema_version").as_number() ==
+                        kSchemaVersion,
+                "unsupported journal schema version");
+            jr.clockGHz_ = j.contains("clock_ghz")
+                               ? j.at("clock_ghz").as_number()
+                               : 0.0;
+            jr.cards_ = j.contains("cards")
+                            ? static_cast<std::size_t>(
+                                  j.at("cards").as_number())
+                            : 0;
+            declared = j.contains("events")
+                           ? static_cast<std::size_t>(
+                                 j.at("events").as_number())
+                           : 0;
+            sawHeader = true;
+            continue;
+        }
+        try {
+            jr.events_.push_back(JournalEvent::from_json(j));
+        } catch (const Error &e) {
+            POSEIDON_THROW(ParseError, "journal line "
+                                           << lineNo << ": "
+                                           << e.message());
+        }
+    }
+    POSEIDON_REQUIRE_T(ParseError, sawHeader,
+                       "journal text has no header line");
+    POSEIDON_REQUIRE_T(ParseError, jr.events_.size() == declared,
+                       "journal header declares "
+                           << declared << " events but "
+                           << jr.events_.size() << " lines follow");
+    return jr;
+}
+
+Journal
+Journal::load_jsonl(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    POSEIDON_REQUIRE_T(ParseError, static_cast<bool>(in),
+                       "cannot open journal file \"" << path << "\"");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_jsonl(buf.str());
+}
+
+} // namespace poseidon::serve

@@ -16,6 +16,15 @@ Scheduler::Scheduler(std::size_t maxBatch)
 void
 Scheduler::enqueue(QueuedJob job)
 {
+    if (journal_) {
+        JournalEvent ev;
+        ev.kind = JournalEventKind::Enqueued;
+        ev.job = job.id;
+        ev.cycle = job.spec.arrivalCycle;
+        ev.priority = job.spec.priority;
+        ev.attempt = job.attempt; // 0 = fresh, >0 = retry requeue
+        journal_->append(std::move(ev));
+    }
     tenants_[job.spec.tenant].push_back(std::move(job));
     ++queued_;
 }
@@ -55,7 +64,8 @@ Scheduler::pick_batch(std::size_t card, double now,
                       std::vector<ExpiredJob> &expired,
                       const JobFilter &excluded)
 {
-    (void)card; // exclusion policy lives in the engine's filter
+    // Exclusion policy lives in the engine's filter; `card` only tags
+    // the journal records below.
     // Choose the winning tenant: among arrived, non-excluded heads,
     // max priority, then least attained service, then tenant name
     // (map order) — all simulated-clock state, fully deterministic.
@@ -98,6 +108,26 @@ Scheduler::pick_batch(std::size_t card, double now,
         batch.push_back(std::move(q.front()));
         q.pop_front();
         --queued_;
+    }
+    if (journal_) {
+        u64 batchId = journal_->next_batch_id();
+        JournalEvent formed;
+        formed.kind = JournalEventKind::BatchFormed;
+        formed.cycle = now;
+        formed.card = card;
+        formed.batch = batchId;
+        formed.batchSize = batch.size();
+        journal_->append(std::move(formed));
+        for (const QueuedJob &qj : batch) {
+            JournalEvent ev;
+            ev.kind = JournalEventKind::Dispatched;
+            ev.job = qj.id;
+            ev.cycle = now;
+            ev.card = card;
+            ev.attempt = qj.attempt + 1; // the attempt about to run
+            ev.batch = batchId;
+            journal_->append(std::move(ev));
+        }
     }
     return batch;
 }

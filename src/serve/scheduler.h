@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "serve/job.h"
+#include "serve/journal.h"
 
 namespace poseidon::serve {
 
@@ -83,6 +84,11 @@ class Scheduler
   public:
     /// `maxBatch` >= 1: jobs coalesced per dispatch.
     explicit Scheduler(std::size_t maxBatch = 4);
+
+    /// Attach the engine's lifecycle journal: enqueue() then records
+    /// Enqueued and pick_batch() records BatchFormed + Dispatched.
+    /// Nullptr (the default) detaches.
+    void set_journal(Journal *journal) { journal_ = journal; }
 
     void enqueue(QueuedJob job);
 
@@ -137,6 +143,7 @@ class Scheduler
 
     std::size_t maxBatch_;
     std::size_t queued_ = 0;
+    Journal *journal_ = nullptr; ///< not owned; may be null
     /// std::map: iteration in tenant-name order keeps every scan
     /// deterministic.
     std::map<std::string, std::deque<QueuedJob>> tenants_;

@@ -58,4 +58,32 @@ ShardManager::price(std::size_t i, const isa::Trace &trace, JobId job,
     return hw::PoseidonSim(cfg).run(trace);
 }
 
+void
+ShardManager::journal_attempt(Journal &journal, std::size_t i,
+                              JobId job, u64 attempt,
+                              double startCycle, double endCycle,
+                              double simCycles, bool failed) const
+{
+    POSEIDON_REQUIRE(i < sims_.size(),
+                     "ShardManager: card " << i << " out of range (fleet "
+                                           << sims_.size() << ")");
+    JournalEvent start;
+    start.kind = JournalEventKind::AttemptStart;
+    start.job = job;
+    start.cycle = startCycle;
+    start.card = i;
+    start.attempt = attempt;
+    journal.append(std::move(start));
+
+    JournalEvent end;
+    end.kind = JournalEventKind::AttemptEnd;
+    end.job = job;
+    end.cycle = endCycle;
+    end.card = i;
+    end.attempt = attempt;
+    end.value = simCycles;
+    end.failed = failed;
+    journal.append(std::move(end));
+}
+
 } // namespace poseidon::serve

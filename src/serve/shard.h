@@ -25,6 +25,7 @@
 #include "hw/sim.h"
 #include "isa/trace.h"
 #include "serve/job.h"
+#include "serve/journal.h"
 
 namespace poseidon::serve {
 
@@ -72,6 +73,16 @@ class ShardManager
     /// Mutable per-card accounting (engine-maintained).
     CardStats& stats(std::size_t i) { return stats_[i]; }
     const std::vector<CardStats>& stats() const { return stats_; }
+
+    /// Journal one executed attempt on card `i` as an
+    /// AttemptStart/AttemptEnd pair ([startCycle, endCycle) on the
+    /// fleet clock, `simCycles` of modeled execution, `failed` = the
+    /// fault-guard verdict). Called from the engine's deterministic
+    /// bookkeeping pass, never from the pricing pool.
+    void journal_attempt(Journal &journal, std::size_t i, JobId job,
+                         u64 attempt, double startCycle,
+                         double endCycle, double simCycles,
+                         bool failed) const;
 
   private:
     std::vector<hw::PoseidonSim> sims_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/metric_sink.h"
@@ -56,6 +57,34 @@ Histogram::bucket_count(std::size_t i) const
     return buckets_[i].load(std::memory_order_relaxed);
 }
 
+double
+Histogram::quantile(double q) const
+{
+    POSEIDON_REQUIRE(q >= 0.0 && q <= 1.0,
+                     "Histogram::quantile: q = " << q
+                                                 << " outside [0, 1]");
+    std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        std::uint64_t inBucket = bucket_count(i);
+        if (cum + inBucket >= rank) {
+            double lo = i == 0 ? 0.0 : bounds_[i - 1];
+            double hi = bounds_[i];
+            double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(inBucket);
+            return lo + (hi - lo) * frac;
+        }
+        cum += inBucket;
+    }
+    // Overflow bucket: no upper bound to interpolate toward.
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 const std::vector<double>&
 default_latency_bounds_us()
 {
@@ -65,6 +94,21 @@ default_latency_bounds_us()
         1e6,  2e6,  5e6,  1e7,
     };
     return kBounds;
+}
+
+double
+exact_quantile(std::vector<double> sample, double q)
+{
+    POSEIDON_REQUIRE(q >= 0.0 && q <= 1.0,
+                     "exact_quantile: q = " << q << " outside [0, 1]");
+    if (sample.empty()) return 0.0;
+    std::sort(sample.begin(), sample.end());
+    std::size_t n = sample.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    return sample[rank - 1];
 }
 
 MetricsRegistry&

@@ -79,6 +79,13 @@ class Histogram
     const std::vector<double>& bounds() const { return bounds_; }
     /// Count in bucket i; i == bounds().size() is the overflow bucket.
     std::uint64_t bucket_count(std::size_t i) const;
+    /**
+     * Quantile estimate (q in [0, 1]) using nearest-rank over the
+     * cumulative buckets with linear interpolation inside the chosen
+     * bucket. Overflow-bucket hits clamp to the last bound; returns
+     * 0.0 for an empty histogram.
+     */
+    double quantile(double q) const;
     std::uint64_t count() const
     {
         return count_.load(std::memory_order_relaxed);
@@ -94,6 +101,17 @@ class Histogram
 
 /// Latency bucket bounds in microseconds: 1us .. 10s, 1-2-5 series.
 const std::vector<double>& default_latency_bounds_us();
+
+/**
+ * Exact nearest-rank quantile of a sample: rank = ceil(q * n) clamped
+ * to [1, n], returns the rank-th smallest value (0.0 for an empty
+ * sample). This is the one quantile definition used across the repo —
+ * the serving engine's per-tenant p50/p99, the latency-breakdown
+ * aggregates, and bench_serving all call it, so their numbers agree
+ * bit-for-bit. Sorts a copy; fine for the report-time sample sizes
+ * this is meant for.
+ */
+double exact_quantile(std::vector<double> sample, double q);
 
 /// Named metrics, lazily created, process-wide via global().
 class MetricsRegistry

@@ -53,6 +53,21 @@ Tracer::complete_event(TraceEvent ev)
 }
 
 void
+Tracer::flow_event(char phase, std::uint64_t id,
+                   const std::string &name, int pid, int tid,
+                   double tsUs)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.ph = phase;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.tsUs = tsUs;
+    ev.flowId = id;
+    complete_event(std::move(ev));
+}
+
+void
 Tracer::set_process_name(int pid, const std::string &name)
 {
     std::lock_guard<std::mutex> lk(mu_);
@@ -115,11 +130,19 @@ Tracer::chrome_trace_json() const
     for (const TraceEvent &ev : events_) {
         Json e = Json::object();
         e.set("name", Json(ev.name));
-        e.set("ph", Json("X"));
+        e.set("ph", Json(std::string(1, ev.ph)));
         e.set("pid", Json(ev.pid));
         e.set("tid", Json(ev.tid));
         e.set("ts", Json(ev.tsUs));
-        e.set("dur", Json(ev.durUs));
+        if (ev.ph == 'X') {
+            e.set("dur", Json(ev.durUs));
+        } else {
+            e.set("cat", Json("flow"));
+            e.set("id", Json(ev.flowId));
+            // Bind the finish arrow to the enclosing slice so the
+            // chain stays visible when the final slice is zoomed out.
+            if (ev.ph == 'f') e.set("bp", Json("e"));
+        }
         if (!ev.args.empty()) {
             Json args = Json::object();
             for (const auto &a : ev.args) args.set(a.first, a.second);

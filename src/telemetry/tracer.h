@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -33,14 +34,19 @@
 
 namespace poseidon::telemetry {
 
-/// One Chrome "complete" event ("ph":"X").
+/// One Chrome trace event. Defaults to a "complete" event ("ph":"X");
+/// flow events ('s' start / 't' step / 'f' finish) draw arrows
+/// between slices that share a flow id — the serving layer uses them
+/// to link a job's queue→dispatch→attempt spans across fleet tracks.
 struct TraceEvent
 {
     std::string name;
+    char ph = 'X';      ///< 'X' complete, or flow phase 's'/'t'/'f'
     int pid = 0;
     int tid = 0;
     double tsUs = 0.0;  ///< start, microseconds since session start
-    double durUs = 0.0; ///< duration, microseconds
+    double durUs = 0.0; ///< duration, microseconds ('X' only)
+    std::uint64_t flowId = 0; ///< flow correlation id ('s'/'t'/'f')
     std::vector<std::pair<std::string, Json>> args;
 };
 
@@ -72,6 +78,13 @@ class Tracer
 
     /// Record one complete event (dropped when no session is active).
     void complete_event(TraceEvent ev);
+
+    /// Record one flow event: `phase` is 's' (start), 't' (step) or
+    /// 'f' (finish); events sharing `id` are drawn as one arrow chain.
+    /// Anchor each at the ts/tid of the slice it should attach to.
+    void flow_event(char phase, std::uint64_t id,
+                    const std::string &name, int pid, int tid,
+                    double tsUs);
 
     /// Name a Perfetto process / thread track (metadata events).
     void set_process_name(int pid, const std::string &name);

@@ -383,6 +383,9 @@ TEST(Serving, StatsExportAndJson)
     EXPECT_EQ(j.at("completed").as_number(), 2.0);
     EXPECT_TRUE(j.at("tenants").contains("alice"));
     EXPECT_EQ(j.at("cards").size(), 1u);
+    const telemetry::Json &alice = j.at("tenants").at("alice");
+    EXPECT_EQ(alice.at("submitted").as_number(), 1.0);
+    EXPECT_EQ(alice.at("shed").as_number(), 0.0);
     // Round-trips through the serializer.
     telemetry::Json back = telemetry::Json::parse(j.dump());
     EXPECT_EQ(back.at("completed").as_number(), 2.0);
@@ -392,6 +395,13 @@ TEST(Serving, StatsExportAndJson)
     EXPECT_EQ(reg.counter_value("serve.jobs.completed"), 2.0);
     EXPECT_GT(reg.gauge("serve.fleet_occupancy").value(), 0.0);
     EXPECT_GT(reg.gauge("serve.card_occupancy.0").value(), 0.0);
+    // Per-tenant outcome gauges (one family per tenant).
+    EXPECT_EQ(reg.gauge("serve.tenant_submitted.alice").value(), 1.0);
+    EXPECT_EQ(reg.gauge("serve.tenant_completed.bob").value(), 1.0);
+    EXPECT_EQ(reg.gauge("serve.tenant_shed.alice").value(), 0.0);
+    EXPECT_EQ(reg.gauge("serve.tenant_expired.alice").value(), 0.0);
+    EXPECT_GT(reg.gauge("serve.tenant_p99_cycles.alice").value(),
+              0.0);
 }
 
 TEST(Serving, JobStateNames)

@@ -134,6 +134,45 @@ TEST(Metrics, HistogramBucketEdgesAreInclusive)
     EXPECT_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 6.0);
 }
 
+TEST(Metrics, HistogramQuantileInterpolatesWithinBuckets)
+{
+    Histogram h({10.0, 20.0, 40.0});
+    for (int v = 1; v <= 10; ++v) h.observe(v);  // 10 in (0, 10]
+    for (int v = 11; v <= 20; ++v) h.observe(v); // 10 in (10, 20]
+
+    // Empty quantile range checks first: q must be a probability.
+    EXPECT_THROW(h.quantile(-0.1), poseidon::InvalidArgument);
+    EXPECT_THROW(h.quantile(1.5), poseidon::InvalidArgument);
+
+    // Nearest-rank lands the median on the first bucket's edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    // Inside the second bucket the estimate interpolates linearly.
+    double q75 = h.quantile(0.75);
+    EXPECT_GT(q75, 10.0);
+    EXPECT_LE(q75, 20.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(1e-9));
+
+    // Overflow observations clamp to the last finite bound.
+    h.observe(100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+    EXPECT_DOUBLE_EQ(Histogram({1.0}).quantile(0.5), 0.0); // empty
+}
+
+TEST(Metrics, ExactQuantileUsesNearestRank)
+{
+    std::vector<double> sample = {5.0, 1.0, 3.0, 2.0, 4.0};
+    // rank = ceil(q * 5) on the sorted sample {1,2,3,4,5}.
+    EXPECT_DOUBLE_EQ(exact_quantile(sample, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(exact_quantile(sample, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(exact_quantile(sample, 0.99), 5.0);
+    EXPECT_DOUBLE_EQ(exact_quantile(sample, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(exact_quantile({7.0}, 0.5), 7.0);
+    EXPECT_DOUBLE_EQ(exact_quantile({}, 0.5), 0.0);
+    EXPECT_THROW(exact_quantile(sample, 2.0),
+                 poseidon::InvalidArgument);
+}
+
 TEST(Metrics, RegistryCreatesLazilyAndResets)
 {
     MetricsRegistry &reg = MetricsRegistry::global();

@@ -11,13 +11,19 @@
  *   chaos_campaign --dsl 'SPEC'     # ad-hoc schedule on the default
  *                                   # scenario load
  *   chaos_campaign --json           # machine-readable reports
+ *   chaos_campaign --journal DIR    # write each scenario's lifecycle
+ *                                   # journal to DIR/NAME.jsonl (feed
+ *                                   # to poseidon_explain /
+ *                                   # validate_journal)
  *
  * Exit status is non-zero when any scenario loses a job (submitted !=
- * completed + failed + expired + shed) or leaves a ticket unresolved
- * — the CI smoke job runs exactly this binary.
+ * completed + failed + expired + shed), leaves a ticket unresolved,
+ * or produces a journal that disagrees with the engine's stats — the
+ * CI smoke job runs exactly this binary.
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -48,6 +54,9 @@ print_report(const CampaignReport &r, bool json)
     if (!r.allTicketsResolved) {
         std::cout << "        unresolved ticket futures!\n";
     }
+    if (!r.journalConsistent) {
+        std::cout << "        journal disagrees with engine stats!\n";
+    }
 }
 
 } // namespace
@@ -59,6 +68,7 @@ main(int argc, char **argv)
     bool list = false;
     std::string only;
     std::string dsl;
+    std::string journalDir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json = true;
@@ -70,9 +80,13 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--dsl") == 0 &&
                    i + 1 < argc) {
             dsl = argv[++i];
+        } else if (std::strcmp(argv[i], "--journal") == 0 &&
+                   i + 1 < argc) {
+            journalDir = argv[++i];
         } else {
             std::cerr << "usage: chaos_campaign [--list] [--json] "
-                         "[--only NAME] [--dsl 'SPEC']\n";
+                         "[--only NAME] [--dsl 'SPEC'] "
+                         "[--journal DIR]\n";
             return 2;
         }
     }
@@ -103,6 +117,17 @@ main(int argc, char **argv)
         ranAny = true;
         CampaignReport r = run_scenario(sc);
         print_report(r, json);
+        if (!journalDir.empty()) {
+            std::string path = journalDir + "/" + sc.name + ".jsonl";
+            std::ofstream f(path, std::ios::binary);
+            if (f) {
+                f << r.journalJsonl;
+            }
+            if (!f) {
+                std::cerr << "cannot write journal " << path << "\n";
+                allOk = false;
+            }
+        }
         allOk = allOk && r.ok();
     }
     if (!ranAny) {

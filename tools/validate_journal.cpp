@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CI gate for serving-engine lifecycle journals: parse each JSONL
+ * file against the poseidon-journal schema, decompose it, and verify
+ * the invariants a healthy journal must satisfy —
+ *
+ *  - header schema/version/declared event count are valid,
+ *  - every event line round-trips (known kind, required fields),
+ *  - every job reaches exactly one terminal state,
+ *  - per-job event streams are chronological, and
+ *  - the conservation invariant holds bit-exactly: each job's phase
+ *    expansion distills to its end-to-end latency
+ *    (JobBreakdown::phase_sum() == endToEndCycles).
+ *
+ * Usage: validate_journal FILE.jsonl [FILE.jsonl ...]
+ * Exit status 0 when every file validates, 1 otherwise.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/status.h"
+#include "serve/latency_breakdown.h"
+
+using namespace poseidon;
+using namespace poseidon::serve;
+
+namespace {
+
+bool
+validate(const std::string &path)
+{
+    try {
+        Journal journal = Journal::load_jsonl(path);
+        // decompose() itself asserts terminality, chronology and
+        // conservation via POSEIDON_CHECK (InternalError); re-check
+        // conservation explicitly so the gate does not rely on the
+        // library's asserts alone.
+        BreakdownReport br = decompose(journal);
+        for (const JobBreakdown &jb : br.jobs) {
+            if (jb.phase_sum() != jb.endToEndCycles) {
+                std::cerr << path << ": job " << jb.id
+                          << " violates phase conservation ("
+                          << jb.phase_sum() << " != "
+                          << jb.endToEndCycles << " cycles)\n";
+                return false;
+            }
+        }
+        std::cout << path << ": OK (" << journal.size()
+                  << " events, " << br.jobs.size() << " jobs, "
+                  << br.cards << " cards)\n";
+        return true;
+    } catch (const Error &e) {
+        std::cerr << path << ": INVALID: " << e.what() << "\n";
+        return false;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: validate_journal FILE.jsonl [...]\n";
+        return 1;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+        ok = validate(argv[i]) && ok;
+    }
+    return ok ? 0 : 1;
+}
