@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 
 namespace poseidon::bench {
 
@@ -51,6 +52,12 @@ Harness::Harness(std::string name, int argc, char **argv)
     if (const char *env = std::getenv("POSEIDON_BENCH_DIR")) dir = env;
     if (!dir.empty() && dir.back() != '/') dir += '/';
     outPath_ = dir + "BENCH_" + name_ + ".json";
+    // Provenance: which host-kernel ISA level timed this run. Config
+    // entries are not diffed by the regression gate, so the stamp is
+    // informational (the gated metrics are level-relative ratios).
+    config_.set("simd",
+                telemetry::Json(std::string(
+                    kernels::level_name(kernels::active_level()))));
 }
 
 void

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 #include "poly/automorphism.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
@@ -203,15 +204,13 @@ CkksEvaluator::mul(const Ciphertext &a, const Ciphertext &b,
     parallel::parallel_for(0, limbs, 1,
         [&](std::size_t k0, std::size_t k1) {
             for (std::size_t k = k0; k < k1; ++k) {
-                const Barrett64 &br = ring->barrett(k);
                 u64 q = ring->prime(k);
-                const u64 *a0 = a.c0.limb(k), *a1 = a.c1.limb(k);
-                const u64 *b0 = b.c0.limb(k), *b1 = b.c1.limb(k);
-                u64 *d = d1.limb(k);
-                for (std::size_t t = 0; t < n; ++t) {
-                    d[t] = add_mod(br.mul(a0[t], b1[t]),
-                                   br.mul(a1[t], b0[t]), q);
-                }
+                u64 *d = d1.limb(k); // zero-initialized by ct()
+                kernels::mul_mod_acc_lazy_n(d, a.c0.limb(k),
+                                            b.c1.limb(k), n, q);
+                kernels::mul_mod_acc_lazy_n(d, a.c1.limb(k),
+                                            b.c0.limb(k), n, q);
+                kernels::normalize_n(d, n, q);
             }
         }, "ckks.tensor");
 
@@ -292,7 +291,6 @@ CkksEvaluator::decompose_digits_eval(
                 for (std::size_t m = m0; m < m1; ++m) {
                     std::size_t pidx = extIdx[m];
                     u64 qm = ring->prime(pidx);
-                    const Barrett64 &brm = ring->barrett(pidx);
                     std::vector<u64> &buf = out[j][m];
                     buf.resize(n);
                     if (len > 1) {
@@ -301,10 +299,7 @@ CkksEvaluator::decompose_digits_eval(
                     } else if (pidx == start) {
                         std::copy(digit, digit + n, buf.begin());
                     } else {
-                        for (std::size_t t = 0; t < n; ++t) {
-                            buf[t] = digit[t] < qm ? digit[t]
-                                                   : brm.reduce(digit[t]);
-                        }
+                        kernels::reduce_mod_n(buf.data(), digit, n, qm);
                     }
                     ring->table(pidx).forward(buf.data());
                 }
@@ -378,19 +373,22 @@ CkksEvaluator::keyswitch_core(const RnsPoly &d, const KSwitchKey &key) const
             for (std::size_t m = m0; m < m1; ++m) {
                 std::size_t pidx = extIdx[m];
                 u64 qm = ring->prime(pidx);
-                const Barrett64 &brm = ring->barrett(pidx);
                 u64 *o0 = acc0.limb(m);
                 u64 *o1 = acc1.limb(m);
+                // Lazy Barrett accumulate over the digit inner
+                // products; one normalization after the j loop.
                 for (std::size_t j = 0; j < numDigits; ++j) {
                     const KSwitchKey::Piece &piece = key.pieces[j];
                     const u64 *dg = digits[j][m].data();
-                    const u64 *kb = piece.b.limb(pidx);
-                    const u64 *ka = piece.a.limb(pidx);
-                    for (std::size_t t = 0; t < n; ++t) {
-                        o0[t] = add_mod(o0[t], brm.mul(dg[t], kb[t]), qm);
-                        o1[t] = add_mod(o1[t], brm.mul(dg[t], ka[t]), qm);
-                    }
+                    kernels::mul_mod_acc_lazy_n(o0, dg,
+                                                piece.b.limb(pidx), n,
+                                                qm);
+                    kernels::mul_mod_acc_lazy_n(o1, dg,
+                                                piece.a.limb(pidx), n,
+                                                qm);
                 }
+                kernels::normalize_n(o0, n, qm);
+                kernels::normalize_n(o1, n, qm);
             }
         }, "ckks.keyswitch_acc");
     return mod_down_pair(std::move(acc0), std::move(acc1), limbs);
@@ -407,7 +405,7 @@ CkksEvaluator::rescale_poly(RnsPoly &p) const
     // Bring the dropped limb to coefficient domain (it arrives in Eval).
     std::vector<u64> cl(p.limb(last), p.limb(last) + n);
     ring->table(p.prime_index(last)).inverse(cl.data());
-    for (auto &v : cl) v = add_mod(v, qlHalf, ql);
+    kernels::add_scalar_mod_n(cl.data(), cl.data(), n, qlHalf, ql);
 
     // Each remaining limb folds the dropped limb in independently; the
     // NTT scratch is chunk-local and cl is read-only shared.
@@ -416,19 +414,18 @@ CkksEvaluator::rescale_poly(RnsPoly &p) const
             std::vector<u64> buf(n);
             for (std::size_t j = j0; j < j1; ++j) {
                 u64 qj = p.prime(j);
-                const Barrett64 &br = ring->barrett(p.prime_index(j));
                 u64 halfModQj = qlHalf % qj;
-                for (std::size_t t = 0; t < n; ++t) {
-                    u64 r = cl[t] < qj ? cl[t] : br.reduce(cl[t]);
-                    buf[t] = sub_mod(r, halfModQj, qj);
-                }
+                kernels::reduce_mod_n(buf.data(), cl.data(), n, qj);
+                kernels::sub_scalar_mod_n(buf.data(), buf.data(), n,
+                                          halfModQj, qj);
                 ring->table(p.prime_index(j)).forward(buf.data());
                 u64 qlInv = inv_mod(ql % qj, qj);
-                ShoupMul mulInv(qlInv, qj);
+                u64 qlInvShoup =
+                    static_cast<u64>((u128(qlInv) << 64) / qj);
                 u64 *limb = p.limb(j);
-                for (std::size_t t = 0; t < n; ++t) {
-                    limb[t] = mulInv.mul(sub_mod(limb[t], buf[t], qj));
-                }
+                kernels::sub_mod_n(limb, limb, buf.data(), n, qj);
+                kernels::scalar_mul_shoup_n(limb, limb, n, qlInv,
+                                            qlInvShoup, qj);
             }
         }, "ckks.rescale");
     p.drop_last_limb();
@@ -577,22 +574,19 @@ CkksEvaluator::rotate_hoisted(const Ciphertext &a,
                 for (std::size_t m = m0; m < m1; ++m) {
                     std::size_t pidx = extIdx[m];
                     u64 qm = ring->prime(pidx);
-                    const Barrett64 &brm = ring->barrett(pidx);
                     u64 *o0 = acc0.limb(m);
                     u64 *o1 = acc1.limb(m);
                     for (std::size_t j = 0; j < numDigits; ++j) {
                         const KSwitchKey::Piece &piece = key.pieces[j];
                         automorphism_eval_limb(digits[j][m].data(),
                                                tmp.data(), n, perm);
-                        const u64 *kb = piece.b.limb(pidx);
-                        const u64 *ka = piece.a.limb(pidx);
-                        for (std::size_t t = 0; t < n; ++t) {
-                            o0[t] = add_mod(o0[t],
-                                            brm.mul(tmp[t], kb[t]), qm);
-                            o1[t] = add_mod(o1[t],
-                                            brm.mul(tmp[t], ka[t]), qm);
-                        }
+                        kernels::mul_mod_acc_lazy_n(
+                            o0, tmp.data(), piece.b.limb(pidx), n, qm);
+                        kernels::mul_mod_acc_lazy_n(
+                            o1, tmp.data(), piece.a.limb(pidx), n, qm);
                     }
+                    kernels::normalize_n(o0, n, qm);
+                    kernels::normalize_n(o1, n, qm);
                 }
             }, "ckks.rotate_acc");
         auto [u0, u1] =

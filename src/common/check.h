@@ -53,6 +53,20 @@ namespace poseidon {
 #define POSEIDON_CHECK(cond, msg)                                          \
     POSEIDON_REQUIRE_T(InternalError, cond, msg)
 
+/**
+ * Debug-only precondition for hot loops: compiled out under NDEBUG so
+ * release builds pay nothing on the innermost paths (e.g. the
+ * loose-constant `mul_shoup`), but any build without NDEBUG — the
+ * default here keeps assertions live — still catches misuse.
+ */
+#ifdef NDEBUG
+#define POSEIDON_DCHECK(cond, msg)                                         \
+    do {                                                                   \
+    } while (0)
+#else
+#define POSEIDON_DCHECK(cond, msg) POSEIDON_REQUIRE(cond, msg)
+#endif
+
 } // namespace poseidon
 
 #endif // POSEIDON_COMMON_CHECK_H_

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
+
 namespace poseidon {
 
 using u32 = std::uint32_t;
@@ -117,17 +119,17 @@ class Barrett64
     /// The modulus.
     u64 modulus() const { return q_; }
 
-    /// Reduce a 128-bit product to [0, q).
+    /// Reduce a 128-bit value to [0, q).
     u64
     reduce(u128 x) const
     {
         // mu = floor(2^128 / q) is held as (muHi_ * 2^64 + muLo_).
-        // Estimate the quotient with the top 64 bits of x:
-        //   t = floor(x / 2^64);  quot ~= (t * mu) / 2^64
-        // followed by at most two correction subtractions.
         u64 xhi = static_cast<u64>(x >> 64);
         u64 xlo = static_cast<u64>(x);
-        // quot = floor((x * mu) / 2^128) computed from partial products.
+        // quot = floor((x * mu) / 2^128), computed *exactly* from the
+        // four partial products: x*mu = hi*2^128 + (midA + midB)*2^64
+        // + xlo*muLo, and `carry` is precisely the overflow of the
+        // middle column into bit 128.
         u128 midA = u128(xhi) * muLo_;
         u128 midB = u128(xlo) * muHi_;
         u128 hi = u128(xhi) * muHi_;
@@ -135,8 +137,17 @@ class Barrett64
                       u128(static_cast<u64>(midB)) +
                       (u128(xlo) * muLo_ >> 64)) >> 64;
         u128 quot = hi + (midA >> 64) + (midB >> 64) + carry;
+        // Quotient-error bound (so the old `while (r >= q)` loop is
+        // provably at most one branchless conditional subtraction —
+        // well inside the classical two-subtraction Barrett bound):
+        // write mu = (2^128 - rho)/q with rho = 2^128 mod q in [0, q).
+        // Then x*mu/2^128 = x/q - x*rho/(q*2^128) > x/q - rho/q
+        // >= x/q - 1 since x < 2^128 and rho < q. With Q = floor(x/q)
+        // this gives quot >= Q - 1, and quot <= x*mu/2^128 <= x/q
+        // gives quot <= Q. Hence r = x - quot*q is in [0, 2q), and
+        // 2q < 2^63, so r fits a u64 and one subtraction finishes.
         u64 r = static_cast<u64>(x - quot * q_);
-        while (r >= q_) r -= q_;
+        r -= q_ & (0 - static_cast<u64>(r >= q_));
         return r;
     }
 
@@ -168,7 +179,13 @@ class ShoupMul
     ShoupMul(u64 w, u64 q)
         : w_(w), q_(q),
           wshoup_(static_cast<u64>((u128(w) << 64) / q))
-    {}
+    {
+        // w >= q makes floor(w * 2^64 / q) overflow 64 bits and mul()
+        // silently wrong; the precondition was previously assumed.
+        POSEIDON_REQUIRE(w < q,
+                         "ShoupMul: constant " << w
+                         << " not reduced mod " << q);
+    }
 
     u64 value() const { return w_; }
 
@@ -195,6 +212,10 @@ class ShoupMul
 inline u64
 mul_shoup(u64 a, u64 w, u64 wshoup, u64 q)
 {
+    // Same precondition as ShoupMul (w reduced mod q), debug-checked
+    // only: this is the innermost butterfly primitive.
+    POSEIDON_DCHECK(w < q, "mul_shoup: constant " << w
+                               << " not reduced mod " << q);
     u64 hi = static_cast<u64>((u128(a) * wshoup) >> 64);
     u64 r = a * w - hi * q;
     return r >= q ? r - q : r;

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * AVX-512F backend for the kernel layer: elementwise kernels only.
+ *
+ * Relative to AVX2 this gains native unsigned 64-bit compares
+ * (`_mm512_cmpge_epu64_mask`) and masked subtraction, halving the
+ * instruction count of every conditional-subtract, plus twice the
+ * lane width. 64-bit multiplies still go through `_mm512_mul_epu32`
+ * partial products — `_mm512_mullo_epi64` is AVX-512DQ, which this
+ * backend deliberately does not require. The NTT entries are left
+ * null and inherited from the AVX2 backend by the dispatcher's
+ * table merge (see kernels.cpp): the butterfly passes are
+ * shuffle-bound, where 512-bit lanes pay cross-lane permute latency
+ * and offer little win on one memory-bound core.
+ *
+ * The number-theoretic bounds (lazy Shoup < 2q, width-Barrett < 3q,
+ * nu-reduce < 3q) are identical to the AVX2 backend; see that file
+ * and DESIGN.md §14. Scalar tails replicate vector lane math exactly
+ * so chunked calls stay byte-stable.
+ */
+
+#include "kernels/kernels_internal.h"
+
+#ifdef __AVX512F__
+
+#include <immintrin.h>
+
+namespace poseidon::kernels::internal {
+
+namespace {
+
+inline __m512i
+vsrl(__m512i x, unsigned k)
+{
+    return _mm512_srl_epi64(x, _mm_cvtsi32_si128(static_cast<int>(k)));
+}
+
+inline __m512i
+vsll(__m512i x, unsigned k)
+{
+    return _mm512_sll_epi64(x, _mm_cvtsi32_si128(static_cast<int>(k)));
+}
+
+inline __m512i
+mullo64(__m512i a, __m512i b)
+{
+    __m512i aH = _mm512_srli_epi64(a, 32);
+    __m512i bH = _mm512_srli_epi64(b, 32);
+    __m512i ll = _mm512_mul_epu32(a, b);
+    __m512i cross = _mm512_add_epi64(_mm512_mul_epu32(a, bH),
+                                     _mm512_mul_epu32(aH, b));
+    return _mm512_add_epi64(ll, _mm512_slli_epi64(cross, 32));
+}
+
+inline __m512i
+mulhi64(__m512i a, __m512i b)
+{
+    __m512i mask32 = _mm512_set1_epi64(0xffffffff);
+    __m512i aH = _mm512_srli_epi64(a, 32);
+    __m512i bH = _mm512_srli_epi64(b, 32);
+    __m512i ll = _mm512_mul_epu32(a, b);
+    __m512i lh = _mm512_mul_epu32(a, bH);
+    __m512i hl = _mm512_mul_epu32(aH, b);
+    __m512i hh = _mm512_mul_epu32(aH, bH);
+    __m512i carry = _mm512_srli_epi64(
+        _mm512_add_epi64(
+            _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                             _mm512_and_si512(lh, mask32)),
+            _mm512_and_si512(hl, mask32)),
+        32);
+    return _mm512_add_epi64(
+        _mm512_add_epi64(hh, _mm512_srli_epi64(lh, 32)),
+        _mm512_add_epi64(_mm512_srli_epi64(hl, 32), carry));
+}
+
+/// Both halves of the lanewise 64x64 product from one set of partial
+/// products (a mullo64 + mulhi64 pair would recompute three of them).
+inline void
+mul64wide(__m512i a, __m512i b, __m512i &lo, __m512i &hi)
+{
+    __m512i mask32 = _mm512_set1_epi64(0xffffffff);
+    __m512i aH = _mm512_srli_epi64(a, 32);
+    __m512i bH = _mm512_srli_epi64(b, 32);
+    __m512i ll = _mm512_mul_epu32(a, b);
+    __m512i lh = _mm512_mul_epu32(a, bH);
+    __m512i hl = _mm512_mul_epu32(aH, b);
+    __m512i hh = _mm512_mul_epu32(aH, bH);
+    __m512i cross = _mm512_add_epi64(lh, hl);
+    lo = _mm512_add_epi64(ll, _mm512_slli_epi64(cross, 32));
+    __m512i carry = _mm512_srli_epi64(
+        _mm512_add_epi64(
+            _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                             _mm512_and_si512(lh, mask32)),
+            _mm512_and_si512(hl, mask32)),
+        32);
+    hi = _mm512_add_epi64(
+        _mm512_add_epi64(hh, _mm512_srli_epi64(lh, 32)),
+        _mm512_add_epi64(_mm512_srli_epi64(hl, 32), carry));
+}
+
+/// x - (x >= m ? m : 0) with the native unsigned compare.
+inline __m512i
+csub(__m512i x, __m512i m)
+{
+    __mmask8 ge = _mm512_cmpge_epu64_mask(x, m);
+    return _mm512_mask_sub_epi64(x, ge, x, m);
+}
+
+inline __m512i
+shoup_lazy(__m512i v, __m512i w, __m512i ws, __m512i q)
+{
+    __m512i hi = mulhi64(v, ws);
+    return _mm512_sub_epi64(mullo64(v, w), mullo64(hi, q));
+}
+
+inline u64
+shoup_lazy_s(u64 v, u64 w, u64 ws, u64 q)
+{
+    u64 hi = static_cast<u64>((u128(v) * ws) >> 64);
+    return v * w - hi * q;
+}
+
+inline u64
+csub_s(u64 x, u64 m)
+{
+    return x >= m ? x - m : x;
+}
+
+struct WidthBarrett
+{
+    u64 mu = 0;
+    unsigned sh1 = 0;
+    unsigned sh2 = 0;
+};
+
+WidthBarrett
+make_wb(u64 q)
+{
+    unsigned s = log2_floor(q) + 1;
+    WidthBarrett wb;
+    wb.mu = static_cast<u64>((u128(1) << (2 * s + 1)) / q);
+    wb.sh1 = s - 2;
+    wb.sh2 = s + 3;
+    return wb;
+}
+
+/// Same pre-shifted mu trick as the AVX2 backend: for sh2 <= 64 the
+/// estimate is one high product of t and mu << (64-sh2); for sh2 > 64
+/// the raw high product is shifted after. Both equal (t*mu) >> sh2
+/// exactly, matching the scalar replica.
+inline __m512i
+wb_mu_broadcast(const WidthBarrett &wb)
+{
+    u64 m = wb.sh2 > 64 ? wb.mu : wb.mu << (64 - wb.sh2);
+    return _mm512_set1_epi64(static_cast<long long>(m));
+}
+
+inline __m512i
+wb_mul_lazy(__m512i av, __m512i bv, const WidthBarrett &wb,
+            __m512i muv, __m512i qv, __m512i twoqv)
+{
+    __m512i xlo, xhi;
+    mul64wide(av, bv, xlo, xhi);
+    __m512i t = _mm512_or_si512(vsll(xhi, 64 - wb.sh1),
+                                vsrl(xlo, wb.sh1));
+    __m512i est = mulhi64(t, muv);
+    if (wb.sh2 > 64) est = vsrl(est, wb.sh2 - 64);
+    __m512i r = _mm512_sub_epi64(xlo, mullo64(est, qv));
+    return csub(r, twoqv);
+}
+
+inline u64
+wb_mul_lazy_s(u64 a, u64 b, const WidthBarrett &wb, u64 q)
+{
+    u128 x = u128(a) * b;
+    u64 t = static_cast<u64>(x >> wb.sh1);
+    u64 est = static_cast<u64>((u128(t) * wb.mu) >> wb.sh2);
+    u64 r = static_cast<u64>(x) - est * q;
+    return csub_s(r, 2 * q);
+}
+
+void
+avx512_add_mod_n(u64 *out, const u64 *a, const u64 *b, std::size_t n,
+                 u64 q)
+{
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        __m512i bv = _mm512_loadu_si512(b + t);
+        _mm512_storeu_si512(out + t,
+                            csub(_mm512_add_epi64(av, bv), qv));
+    }
+    for (; t < n; ++t) out[t] = add_mod(a[t], b[t], q);
+}
+
+void
+avx512_sub_mod_n(u64 *out, const u64 *a, const u64 *b, std::size_t n,
+                 u64 q)
+{
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        __m512i bv = _mm512_loadu_si512(b + t);
+        __mmask8 lt = _mm512_cmplt_epu64_mask(av, bv);
+        __m512i d = _mm512_sub_epi64(av, bv);
+        d = _mm512_mask_add_epi64(d, lt, d, qv);
+        _mm512_storeu_si512(out + t, d);
+    }
+    for (; t < n; ++t) out[t] = sub_mod(a[t], b[t], q);
+}
+
+void
+avx512_neg_mod_n(u64 *out, const u64 *a, std::size_t n, u64 q)
+{
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    __m512i zero = _mm512_setzero_si512();
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        __mmask8 nz = _mm512_cmpneq_epi64_mask(av, zero);
+        _mm512_storeu_si512(
+            out + t, _mm512_maskz_sub_epi64(nz, qv, av));
+    }
+    for (; t < n; ++t) out[t] = neg_mod(a[t], q);
+}
+
+void
+avx512_add_scalar_mod_n(u64 *out, const u64 *a, std::size_t n, u64 c,
+                        u64 q)
+{
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    __m512i cv = _mm512_set1_epi64(static_cast<long long>(c));
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        _mm512_storeu_si512(out + t,
+                            csub(_mm512_add_epi64(av, cv), qv));
+    }
+    for (; t < n; ++t) out[t] = add_mod(a[t], c, q);
+}
+
+void
+avx512_sub_scalar_mod_n(u64 *out, const u64 *a, std::size_t n, u64 c,
+                        u64 q)
+{
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    __m512i cv = _mm512_set1_epi64(static_cast<long long>(c));
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        __mmask8 lt = _mm512_cmplt_epu64_mask(av, cv);
+        __m512i d = _mm512_sub_epi64(av, cv);
+        d = _mm512_mask_add_epi64(d, lt, d, qv);
+        _mm512_storeu_si512(out + t, d);
+    }
+    for (; t < n; ++t) out[t] = sub_mod(a[t], c, q);
+}
+
+void
+avx512_scalar_mul_shoup_n(u64 *out, const u64 *a, std::size_t n, u64 w,
+                          u64 ws, u64 q)
+{
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    __m512i wv = _mm512_set1_epi64(static_cast<long long>(w));
+    __m512i wsv = _mm512_set1_epi64(static_cast<long long>(ws));
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        _mm512_storeu_si512(
+            out + t, csub(shoup_lazy(av, wv, wsv, qv), qv));
+    }
+    for (; t < n; ++t) {
+        out[t] = csub_s(shoup_lazy_s(a[t], w, ws, q), q);
+    }
+}
+
+void
+avx512_scalar_mul_mod_acc_n(u64 *acc, const u64 *a, std::size_t n,
+                            u64 w, u64 ws, u64 q)
+{
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    __m512i wv = _mm512_set1_epi64(static_cast<long long>(w));
+    __m512i wsv = _mm512_set1_epi64(static_cast<long long>(ws));
+    __m512i twoqv = _mm512_add_epi64(qv, qv);
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        __m512i accv = _mm512_loadu_si512(acc + t);
+        __m512i s = _mm512_add_epi64(accv,
+                                     shoup_lazy(av, wv, wsv, qv));
+        _mm512_storeu_si512(acc + t, csub(s, twoqv));
+    }
+    for (; t < n; ++t) {
+        acc[t] = csub_s(acc[t] + shoup_lazy_s(a[t], w, ws, q), 2 * q);
+    }
+}
+
+void
+avx512_mul_mod_n(u64 *out, const u64 *a, const u64 *b, std::size_t n,
+                 u64 q)
+{
+    if (q < 8) {
+        Barrett64 br(q);
+        for (std::size_t t = 0; t < n; ++t) out[t] = br.mul(a[t], b[t]);
+        return;
+    }
+    WidthBarrett wb = make_wb(q);
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    __m512i muv = wb_mu_broadcast(wb);
+    __m512i twoqv = _mm512_add_epi64(qv, qv);
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        __m512i bv = _mm512_loadu_si512(b + t);
+        __m512i r = wb_mul_lazy(av, bv, wb, muv, qv, twoqv);
+        _mm512_storeu_si512(out + t, csub(r, qv));
+    }
+    for (; t < n; ++t) {
+        out[t] = csub_s(wb_mul_lazy_s(a[t], b[t], wb, q), q);
+    }
+}
+
+void
+avx512_mul_mod_acc_lazy_n(u64 *acc, const u64 *a, const u64 *b,
+                          std::size_t n, u64 q)
+{
+    if (q < 8) {
+        Barrett64 br(q);
+        for (std::size_t t = 0; t < n; ++t) {
+            acc[t] = csub_s(acc[t] + br.mul(a[t], b[t]), 2 * q);
+        }
+        return;
+    }
+    WidthBarrett wb = make_wb(q);
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    __m512i muv = wb_mu_broadcast(wb);
+    __m512i twoqv = _mm512_add_epi64(qv, qv);
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        __m512i bv = _mm512_loadu_si512(b + t);
+        __m512i accv = _mm512_loadu_si512(acc + t);
+        __m512i p = wb_mul_lazy(av, bv, wb, muv, qv, twoqv);
+        _mm512_storeu_si512(acc + t,
+                            csub(_mm512_add_epi64(accv, p), twoqv));
+    }
+    for (; t < n; ++t) {
+        acc[t] = csub_s(acc[t] + wb_mul_lazy_s(a[t], b[t], wb, q),
+                        2 * q);
+    }
+}
+
+void
+avx512_reduce_mod_n(u64 *out, const u64 *a, std::size_t n, u64 q)
+{
+    if (q < 2) {
+        for (std::size_t t = 0; t < n; ++t) out[t] = 0;
+        return;
+    }
+    u64 nu = static_cast<u64>((u128(1) << 64) / q);
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    __m512i nuv = _mm512_set1_epi64(static_cast<long long>(nu));
+    __m512i twoqv = _mm512_add_epi64(qv, qv);
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        __m512i r = _mm512_sub_epi64(av,
+                                     mullo64(mulhi64(av, nuv), qv));
+        _mm512_storeu_si512(out + t, csub(csub(r, twoqv), qv));
+    }
+    for (; t < n; ++t) {
+        u64 est = static_cast<u64>((u128(a[t]) * nu) >> 64);
+        out[t] = csub_s(csub_s(a[t] - est * q, 2 * q), q);
+    }
+}
+
+void
+avx512_normalize_n(u64 *a, std::size_t n, u64 q)
+{
+    __m512i qv = _mm512_set1_epi64(static_cast<long long>(q));
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8) {
+        __m512i av = _mm512_loadu_si512(a + t);
+        _mm512_storeu_si512(a + t, csub(av, qv));
+    }
+    for (; t < n; ++t) a[t] = csub_s(a[t], q);
+}
+
+} // namespace
+
+const KernelTable *
+avx512_table()
+{
+    static const KernelTable t = [] {
+        KernelTable k; // NTT entries stay null -> inherited from AVX2
+        k.add_mod_n = avx512_add_mod_n;
+        k.sub_mod_n = avx512_sub_mod_n;
+        k.neg_mod_n = avx512_neg_mod_n;
+        k.add_scalar_mod_n = avx512_add_scalar_mod_n;
+        k.sub_scalar_mod_n = avx512_sub_scalar_mod_n;
+        k.scalar_mul_shoup_n = avx512_scalar_mul_shoup_n;
+        k.scalar_mul_mod_acc_n = avx512_scalar_mul_mod_acc_n;
+        k.mul_mod_n = avx512_mul_mod_n;
+        k.mul_mod_acc_lazy_n = avx512_mul_mod_acc_lazy_n;
+        k.reduce_mod_n = avx512_reduce_mod_n;
+        k.normalize_n = avx512_normalize_n;
+        return k;
+    }();
+    return &t;
+}
+
+} // namespace poseidon::kernels::internal
+
+#else // !__AVX512F__
+
+namespace poseidon::kernels::internal {
+
+const KernelTable *
+avx512_table()
+{
+    return nullptr;
+}
+
+} // namespace poseidon::kernels::internal
+
+#endif // __AVX512F__

@@ -3,11 +3,14 @@
 #include <array>
 
 #include "common/check.h"
+#include "kernels/kernels.h"
 
 namespace poseidon {
 
-// Butterfly twiddle products use the shared mul_shoup from
-// common/modmath.h — one definition for the reference and fused paths.
+// Butterfly math comes from the shared kernel-layer helpers
+// (kernels::ct_butterfly / gs_butterfly) — one definition for the
+// reference, fused, and SIMD paths, so the paper-model stats counted
+// here stay in lockstep with what the kernels actually compute.
 
 NttFused::NttFused(const NttTable &table, unsigned k)
     : table_(table), k_(k)
@@ -53,10 +56,8 @@ NttFused::forward(u64 *a) const
                             (outer << ss) + (x >> (kk - ss));
                         u64 w = psi[mGlob + iGlob];
                         u64 ws = psiS[mGlob + iGlob];
-                        u64 u = local[x];
-                        u64 v = mul_shoup(local[x + half], w, ws, q);
-                        local[x] = add_mod(u, v, q);
-                        local[x + half] = sub_mod(u, v, q);
+                        kernels::ct_butterfly(local[x], local[x + half],
+                                              w, ws, q);
                         ++stats_.butterflies;
                         ++stats_.twiddleMuls;
                     }
@@ -107,11 +108,8 @@ NttFused::inverse(u64 *a) const
                             (outer << (kk - ss - 1)) + (x >> (ss + 1));
                         u64 w = ipsi[hGlob + iGlob];
                         u64 ws = ipsiS[hGlob + iGlob];
-                        u64 u = local[x];
-                        u64 v = local[x + half];
-                        local[x] = add_mod(u, v, q);
-                        local[x + half] =
-                            mul_shoup(sub_mod(u, v, q), w, ws, q);
+                        kernels::gs_butterfly(local[x], local[x + half],
+                                              w, ws, q);
                         ++stats_.butterflies;
                         ++stats_.twiddleMuls;
                     }
@@ -122,11 +120,9 @@ NttFused::inverse(u64 *a) const
             }
         }
     }
-    u64 ni = table_.n_inv();
-    u64 nis = table_.n_inv_shoup();
-    for (std::size_t t = 0; t < n; ++t) {
-        a[t] = mul_shoup(a[t], ni, nis, q);
-    }
+    // Dispatched batch kernel for the n^{-1} normalization sweep.
+    kernels::scalar_mul_shoup_n(a, a, n, table_.n_inv(),
+                                table_.n_inv_shoup(), q);
 }
 
 u64

@@ -1,6 +1,7 @@
 #include "ntt/ntt.h"
 
 #include "common/check.h"
+#include "kernels/kernels.h"
 #include "ntt/table_cache.h"
 
 namespace poseidon {
@@ -40,51 +41,22 @@ NttTable::NttTable(std::size_t n, u64 q)
     nInvShoup_ = static_cast<u64>((u128(nInv_) << 64) / q);
 }
 
+// Both transforms dispatch through the SIMD kernel layer; the scalar
+// kernel backend holds the loops that used to live here, so
+// POSEIDON_SIMD=scalar reproduces the historical code path exactly.
+
 void
 NttTable::forward(u64 *a) const
 {
-    const u64 q = q_;
-    std::size_t t = n_;
-    for (std::size_t m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (std::size_t i = 0; i < m; ++i) {
-            std::size_t j1 = 2 * i * t;
-            u64 w = psiBr_[m + i];
-            u64 ws = psiBrShoup_[m + i];
-            for (std::size_t j = j1; j < j1 + t; ++j) {
-                u64 u = a[j];
-                u64 v = mul_shoup(a[j + t], w, ws, q);
-                a[j] = add_mod(u, v, q);
-                a[j + t] = sub_mod(u, v, q);
-            }
-        }
-    }
+    kernels::ntt_forward(a, n_, logn_, psiBr_.data(),
+                         psiBrShoup_.data(), q_);
 }
 
 void
 NttTable::inverse(u64 *a) const
 {
-    const u64 q = q_;
-    std::size_t t = 1;
-    for (std::size_t m = n_; m > 1; m >>= 1) {
-        std::size_t j1 = 0;
-        std::size_t h = m >> 1;
-        for (std::size_t i = 0; i < h; ++i) {
-            u64 w = ipsiBr_[h + i];
-            u64 ws = ipsiBrShoup_[h + i];
-            for (std::size_t j = j1; j < j1 + t; ++j) {
-                u64 u = a[j];
-                u64 v = a[j + t];
-                a[j] = add_mod(u, v, q);
-                a[j + t] = mul_shoup(sub_mod(u, v, q), w, ws, q);
-            }
-            j1 += 2 * t;
-        }
-        t <<= 1;
-    }
-    for (std::size_t j = 0; j < n_; ++j) {
-        a[j] = mul_shoup(a[j], nInv_, nInvShoup_, q);
-    }
+    kernels::ntt_inverse(a, n_, logn_, ipsiBr_.data(),
+                         ipsiBrShoup_.data(), nInv_, nInvShoup_, q_);
 }
 
 void

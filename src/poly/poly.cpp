@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 
 namespace poseidon {
 
@@ -96,12 +97,9 @@ RnsPoly::add_inplace(const RnsPoly &o)
     parallel::parallel_for(0, data_.size(), limb_grain(degree()),
         [&](std::size_t k0, std::size_t k1) {
             for (std::size_t k = k0; k < k1; ++k) {
-                u64 q = prime(k);
                 u64 *a = data_[k].data();
-                const u64 *b = o.data_[k].data();
-                for (std::size_t t = 0, n = data_[k].size(); t < n; ++t) {
-                    a[t] = add_mod(a[t], b[t], q);
-                }
+                kernels::add_mod_n(a, a, o.data_[k].data(),
+                                   data_[k].size(), prime(k));
             }
         }, "poly.elementwise");
 }
@@ -113,12 +111,9 @@ RnsPoly::sub_inplace(const RnsPoly &o)
     parallel::parallel_for(0, data_.size(), limb_grain(degree()),
         [&](std::size_t k0, std::size_t k1) {
             for (std::size_t k = k0; k < k1; ++k) {
-                u64 q = prime(k);
                 u64 *a = data_[k].data();
-                const u64 *b = o.data_[k].data();
-                for (std::size_t t = 0, n = data_[k].size(); t < n; ++t) {
-                    a[t] = sub_mod(a[t], b[t], q);
-                }
+                kernels::sub_mod_n(a, a, o.data_[k].data(),
+                                   data_[k].size(), prime(k));
             }
         }, "poly.elementwise");
 }
@@ -129,8 +124,8 @@ RnsPoly::negate_inplace()
     parallel::parallel_for(0, data_.size(), limb_grain(degree()),
         [&](std::size_t k0, std::size_t k1) {
             for (std::size_t k = k0; k < k1; ++k) {
-                u64 q = prime(k);
-                for (auto &v : data_[k]) v = neg_mod(v, q);
+                u64 *a = data_[k].data();
+                kernels::neg_mod_n(a, a, data_[k].size(), prime(k));
             }
         }, "poly.elementwise");
 }
@@ -142,12 +137,9 @@ RnsPoly::mul_inplace(const RnsPoly &o)
     parallel::parallel_for(0, data_.size(), limb_grain(degree()),
         [&](std::size_t k0, std::size_t k1) {
             for (std::size_t k = k0; k < k1; ++k) {
-                const Barrett64 &br = ctx_->barrett(primeIdx_[k]);
                 u64 *a = data_[k].data();
-                const u64 *b = o.data_[k].data();
-                for (std::size_t t = 0, n = data_[k].size(); t < n; ++t) {
-                    a[t] = br.mul(a[t], b[t]);
-                }
+                kernels::mul_mod_n(a, a, o.data_[k].data(),
+                                   data_[k].size(), prime(k));
             }
         }, "poly.elementwise");
 }
@@ -160,8 +152,12 @@ RnsPoly::mul_scalar_inplace(const std::vector<u64> &scalars)
     parallel::parallel_for(0, data_.size(), limb_grain(degree()),
         [&](std::size_t k0, std::size_t k1) {
             for (std::size_t k = k0; k < k1; ++k) {
-                ShoupMul m(scalars[k] % prime(k), prime(k));
-                for (auto &v : data_[k]) v = m.mul(v);
+                u64 q = prime(k);
+                u64 w = scalars[k] % q;
+                u64 ws = static_cast<u64>((u128(w) << 64) / q);
+                u64 *a = data_[k].data();
+                kernels::scalar_mul_shoup_n(a, a, data_[k].size(), w,
+                                            ws, q);
             }
         }, "poly.elementwise");
 }

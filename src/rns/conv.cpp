@@ -4,24 +4,42 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 
 namespace poseidon {
+
+namespace {
+
+u64
+shoup_const(u64 w, u64 q)
+{
+    return static_cast<u64>((u128(w) << 64) / q);
+}
+
+} // namespace
 
 RnsConv::RnsConv(const RnsBasis &src, const RnsBasis &dst)
     : src_(src), dst_(dst)
 {
     std::size_t ls = src_.size(), ld = dst_.size();
     qhatMod_.assign(ld, std::vector<u64>(ls));
+    qhatModShoup_.assign(ld, std::vector<u64>(ls));
     qMod_.resize(ld);
+    qModShoup_.resize(ld);
+    qhatInvShoup_.resize(ls);
     qInvDouble_.resize(ls);
     for (std::size_t j = 0; j < ld; ++j) {
         u64 p = dst_.modulus(j);
         for (std::size_t i = 0; i < ls; ++i) {
             qhatMod_[j][i] = ls == 1 ? 1 % p : src_.qhat(i).mod_u64(p);
+            qhatModShoup_[j][i] = shoup_const(qhatMod_[j][i], p);
         }
         qMod_[j] = src_.big_product().mod_u64(p);
+        qModShoup_[j] = shoup_const(qMod_[j], p);
     }
     for (std::size_t i = 0; i < ls; ++i) {
+        qhatInvShoup_[i] = shoup_const(src_.qhat_inv(i),
+                                       src_.modulus(i));
         qInvDouble_[i] = 1.0 / static_cast<double>(src_.modulus(i));
     }
 }
@@ -35,34 +53,58 @@ RnsConv::convert(const std::vector<const u64*> &src,
     POSEIDON_REQUIRE(src.size() == ls && dst.size() == ld,
                      "RnsConv::convert: limb count mismatch");
 
-    // Each coefficient column t is independent; split the coefficient
-    // range across threads with chunk-local y scratch. Every chunk
-    // writes a disjoint slice of each dst limb, so results are
-    // bit-identical at any thread count.
+    // Coefficient columns are independent; split the coefficient range
+    // across threads and run the batched kernels over each chunk's
+    // rows. Every chunk writes a disjoint slice of each dst limb and
+    // the kernels are chunk-invariant (same bytes under any split), so
+    // results are bit-identical at any thread count. The float
+    // overflow estimate accumulates in ascending-i order per column,
+    // matching the historical scalar loop's rounding exactly.
     parallel::parallel_for(0, n, 256,
         [&](std::size_t t0, std::size_t t1) {
-            std::vector<u64> y(ls);
-            for (std::size_t t = t0; t < t1; ++t) {
-                double est = 0.0;
-                for (std::size_t i = 0; i < ls; ++i) {
-                    y[i] = src_.barrett(i).mul(src[i][t],
-                                               src_.qhat_inv(i));
-                    est += static_cast<double>(y[i]) * qInvDouble_[i];
+            std::size_t c = t1 - t0;
+            std::vector<std::vector<u64>> y(ls, std::vector<u64>(c));
+            std::vector<double> est(c, 0.0);
+            std::vector<u64> e(c, 0), acc(c), corr(c);
+            for (std::size_t i = 0; i < ls; ++i) {
+                // y_i = x_i * [(Q/q_i)^{-1}] mod q_i, batched.
+                kernels::scalar_mul_shoup_n(y[i].data(), src[i] + t0,
+                                            c, src_.qhat_inv(i),
+                                            qhatInvShoup_[i],
+                                            src_.modulus(i));
+                const u64 *yi = y[i].data();
+                double qi = qInvDouble_[i];
+                for (std::size_t t = 0; t < c; ++t) {
+                    est[t] += static_cast<double>(yi[t]) * qi;
                 }
+            }
+            if (correct) {
                 // Number of whole-Q overflows in sum_i y_i * Qhat_i.
-                u64 e = correct ? static_cast<u64>(std::llround(est)) : 0;
-                for (std::size_t j = 0; j < ld; ++j) {
-                    u64 p = dst_.modulus(j);
-                    const Barrett64 &br = dst_.barrett(j);
-                    u64 acc = 0;
-                    for (std::size_t i = 0; i < ls; ++i) {
-                        acc = add_mod(acc,
-                                      br.mul(y[i] % p, qhatMod_[j][i]), p);
-                    }
-                    if (e) {
-                        acc = sub_mod(acc, br.mul(e % p, qMod_[j]), p);
-                    }
-                    dst[j][t] = acc;
+                for (std::size_t t = 0; t < c; ++t) {
+                    e[t] = static_cast<u64>(std::llround(est[t]));
+                }
+            }
+            for (std::size_t j = 0; j < ld; ++j) {
+                u64 p = dst_.modulus(j);
+                std::fill(acc.begin(), acc.end(), 0);
+                for (std::size_t i = 0; i < ls; ++i) {
+                    // Lazy accumulate: y_i is unreduced mod p, which
+                    // scalar_mul_mod_acc_n accepts (any 64-bit input).
+                    kernels::scalar_mul_mod_acc_n(acc.data(),
+                                                  y[i].data(), c,
+                                                  qhatMod_[j][i],
+                                                  qhatModShoup_[j][i],
+                                                  p);
+                }
+                kernels::normalize_n(acc.data(), c, p);
+                if (correct) {
+                    kernels::scalar_mul_shoup_n(corr.data(), e.data(),
+                                                c, qMod_[j],
+                                                qModShoup_[j], p);
+                    kernels::sub_mod_n(dst[j] + t0, acc.data(),
+                                       corr.data(), c, p);
+                } else {
+                    std::copy(acc.begin(), acc.end(), dst[j] + t0);
                 }
             }
         }, "rns.conv");
@@ -72,10 +114,12 @@ ModDown::ModDown(const RnsBasis &qBasis, const RnsBasis &pBasis)
     : conv_(pBasis, qBasis)
 {
     pInv_.reserve(qBasis.size());
+    pInvShoup_.reserve(qBasis.size());
     for (std::size_t i = 0; i < qBasis.size(); ++i) {
         u64 q = qBasis.modulus(i);
         u64 pmod = pBasis.big_product().mod_u64(q);
         pInv_.push_back(inv_mod(pmod, q));
+        pInvShoup_.push_back(shoup_const(pInv_.back(), q));
     }
 }
 
@@ -99,11 +143,10 @@ ModDown::apply(const std::vector<const u64*> &xq,
         [&](std::size_t i0, std::size_t i1) {
             for (std::size_t i = i0; i < i1; ++i) {
                 u64 q = qb.modulus(i);
-                const Barrett64 &br = qb.barrett(i);
-                for (std::size_t t = 0; t < n; ++t) {
-                    u64 d = sub_mod(xq[i][t], scratch[i][t], q);
-                    out[i][t] = br.mul(d, pInv_[i]);
-                }
+                kernels::sub_mod_n(out[i], xq[i], scratch[i].data(), n,
+                                   q);
+                kernels::scalar_mul_shoup_n(out[i], out[i], n, pInv_[i],
+                                            pInvShoup_[i], q);
             }
         }, "rns.moddown");
 }

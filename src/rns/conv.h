@@ -51,10 +51,15 @@ class RnsConv
   private:
     RnsBasis src_;
     RnsBasis dst_;
-    /// qhatMod_[j][i] = [Q/q_i] mod p_j
+    /// qhatMod_[j][i] = [Q/q_i] mod p_j (+ Shoup constant)
     std::vector<std::vector<u64>> qhatMod_;
-    /// qMod_[j] = Q mod p_j (for overflow correction)
+    std::vector<std::vector<u64>> qhatModShoup_;
+    /// qMod_[j] = Q mod p_j (for overflow correction, + Shoup)
     std::vector<u64> qMod_;
+    std::vector<u64> qModShoup_;
+    /// Shoup constant of [(Q/q_i)^{-1}] mod q_i (the value itself
+    /// lives in the basis).
+    std::vector<u64> qhatInvShoup_;
     /// 1.0 / q_i for the float overflow estimate
     std::vector<double> qInvDouble_;
 };
@@ -83,8 +88,9 @@ class ModDown
     const RnsConv& conv() const { return conv_; }
 
   private:
-    RnsConv conv_;          ///< p-basis -> q-basis
-    std::vector<u64> pInv_; ///< P^{-1} mod q_i
+    RnsConv conv_;               ///< p-basis -> q-basis
+    std::vector<u64> pInv_;      ///< P^{-1} mod q_i
+    std::vector<u64> pInvShoup_; ///< Shoup constant of pInv_[i]
 };
 
 } // namespace poseidon

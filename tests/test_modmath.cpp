@@ -123,6 +123,30 @@ INSTANTIATE_TEST_SUITE_P(
         2305843009213693951ull,         // Mersenne prime 2^61-1
         4611686018427387847ull));       // near 2^62
 
+// The branchless single-subtraction finish in Barrett64::reduce relies
+// on quot >= floor(x/q) - 1; stress the bound where the remainder
+// pressure is greatest: maximal products under moduli right below the
+// 2^62 ceiling, plus the exact remainder boundaries around q.
+TEST(ModMath, BarrettBoundaryNearMaxModulus)
+{
+    // Largest primes under 2^62 (kMaxModulus is exclusive).
+    for (u64 q : {u64(4611686018427387847ull),
+                  u64(4611686018427387817ull), (u64(1) << 62) - 57}) {
+        Barrett64 br(q);
+        u64 m = q - 1;
+        EXPECT_EQ(br.mul(m, m), mul_mod(m, m, q));         // (q-1)^2
+        EXPECT_EQ(br.reduce(u128(q) * q - 1), q - 1);      // q^2 - 1
+        EXPECT_EQ(br.reduce(u128(q) * q), 0u);             // q^2
+        EXPECT_EQ(br.reduce(u128(q)), 0u);
+        EXPECT_EQ(br.reduce(u128(q) - 1), q - 1);
+        EXPECT_EQ(br.reduce(u128(q) + 1), 1u);
+        EXPECT_EQ(br.reduce(u128(2) * q - 1), q - 1);
+        // Largest reducible input: x < 2^124 for q < 2^62.
+        u128 top = (u128(m) << 62) | (u128(m) >> 2);
+        EXPECT_EQ(br.reduce(top), static_cast<u64>(top % q));
+    }
+}
+
 class ShoupTest : public ::testing::TestWithParam<u64> {};
 
 TEST_P(ShoupTest, MatchesReference)
@@ -144,6 +168,25 @@ INSTANTIATE_TEST_SUITE_P(
     Moduli, ShoupTest,
     ::testing::Values(97ull, 65537ull, 4293918721ull,
                       1125899906826241ull, 4611686018427387847ull));
+
+// An unreduced constant overflows the precomputed w' = floor(w*2^64/q)
+// and silently corrupts every product; the constructor must reject it
+// up front, and the loose-constant mul_shoup must catch it in
+// assertion-enabled builds (the default — NDEBUG is never set here).
+TEST(ModMath, ShoupRejectsUnreducedConstant)
+{
+    u64 q = 65537;
+    EXPECT_THROW(ShoupMul(q, q), InvalidArgument);
+    EXPECT_THROW(ShoupMul(q + 1, q), InvalidArgument);
+    EXPECT_THROW(ShoupMul(~u64(0), q), InvalidArgument);
+    EXPECT_NO_THROW(ShoupMul(q - 1, q));
+    EXPECT_NO_THROW(ShoupMul(0, q));
+#ifndef NDEBUG
+    u64 ws = static_cast<u64>((u128(3) << 64) / q);
+    EXPECT_THROW(mul_shoup(5, q + 3, ws, q), InvalidArgument);
+    EXPECT_EQ(mul_shoup(5, 3, ws, q), 15u);
+#endif
+}
 
 TEST(ModMath, PrimitiveRoot)
 {

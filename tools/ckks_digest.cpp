@@ -1,0 +1,97 @@
+// ckks_digest — deterministic end-to-end CKKS pipeline digest.
+//
+// Runs a fixed, fully seeded encode/encrypt/evaluate pipeline (HAdd,
+// CMult+relin, Rescale, Rotation, conjugation, PMult) and prints one
+// line: the FNV-1a hash of every intermediate ciphertext's raw limb
+// words. Because the kernel layer guarantees canonical outputs are
+// bit-identical across dispatch levels and thread counts, the digest
+// must not change under POSEIDON_SIMD or POSEIDON_THREADS — CI runs
+// it once per SIMD level and diffs the lines.
+//
+// Stdout carries the digest only, so `diff <(POSEIDON_SIMD=scalar
+// ckks_digest) <(POSEIDON_SIMD=avx2 ckks_digest)` is the whole gate.
+
+#include <cstdio>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+
+using namespace poseidon;
+
+namespace {
+
+u64
+fnv1a(u64 h, const u64 *words, std::size_t n)
+{
+    for (std::size_t t = 0; t < n; ++t) {
+        u64 w = words[t];
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+u64
+digest_ct(u64 h, const Ciphertext &c)
+{
+    for (std::size_t k = 0; k < c.num_limbs(); ++k) {
+        h = fnv1a(h, c.c0.limb(k), c.degree());
+        h = fnv1a(h, c.c1.limb(k), c.degree());
+    }
+    return h;
+}
+
+} // namespace
+
+int
+main()
+{
+    CkksParams params;
+    params.logN = 12;
+    params.L = 6;
+    params.scaleBits = 35;
+    auto ctx = make_ckks_context(params);
+
+    KeyGenerator keygen(ctx);
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, keygen.make_public_key());
+    CkksEvaluator eval(ctx);
+    KSwitchKey relin = keygen.make_relin_key();
+    GaloisKeys galois = keygen.make_galois_keys({1, 2}, true);
+
+    std::vector<cdouble> x, y;
+    for (std::size_t i = 0; i < ctx->slots(); ++i) {
+        double d = static_cast<double>(i);
+        x.push_back({0.25 + d * 1e-3, -0.125 + d * 2e-3});
+        y.push_back({1.5 - d * 1e-3, 0.0625 * (i % 7)});
+    }
+    Ciphertext cx = encryptor.encrypt(encoder.encode(x, params.L));
+    Ciphertext cy = encryptor.encrypt(encoder.encode(y, params.L));
+
+    u64 h = 1469598103934665603ull; // FNV offset basis
+    h = digest_ct(h, cx);
+    h = digest_ct(h, cy);
+    h = digest_ct(h, eval.add(cx, cy));
+
+    Ciphertext prod = eval.mul(cx, cy, relin);
+    eval.rescale_inplace(prod);
+    h = digest_ct(h, prod);
+
+    h = digest_ct(h, eval.rotate(cx, 1, galois));
+    h = digest_ct(h, eval.conjugate(cx, galois));
+
+    Plaintext half = encoder.encode_scalar(0.5, cx.num_limbs());
+    Ciphertext scaled = eval.mul_plain(cx, half);
+    eval.rescale_inplace(scaled);
+    h = digest_ct(h, scaled);
+
+    Ciphertext deep = eval.mul(prod, scaled, relin);
+    eval.rescale_inplace(deep);
+    h = digest_ct(h, eval.rotate(deep, 2, galois));
+
+    std::printf("%016llx\n", static_cast<unsigned long long>(h));
+    return 0;
+}

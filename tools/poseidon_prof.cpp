@@ -25,6 +25,7 @@
 
 #include "common/status.h"
 #include "hw/profiler.h"
+#include "kernels/kernels.h"
 #include "hw/sim.h"
 #include "workloads/workloads.h"
 
@@ -98,6 +99,11 @@ main(int argc, char **argv)
     if (names.empty() ||
         (names.size() == 1 && (names[0] == "all" || names[0] == "ALL"))) {
         names = workloads::workload_names();
+    }
+
+    if (!quiet) {
+        std::printf("host kernel dispatch: %s\n",
+                    kernels::level_name(kernels::active_level()));
     }
 
     hw::HwConfig cfg = hw::HwConfig::poseidon_u280();
