@@ -15,6 +15,7 @@
 // failed + expired + shed) or leaves a ticket unresolved.
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +34,57 @@ fmt(double v, const char *suffix = "")
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffix);
     return buf;
+}
+
+/// Directory of the BENCH document ("" = working directory).
+std::string
+bench_dir(const bench::Harness &h)
+{
+    const std::string &out = h.output_path();
+    std::size_t slash = out.find_last_of('/');
+    return slash == std::string::npos ? "" : out.substr(0, slash + 1);
+}
+
+/// Gate the card-death scenario's page against its scripted fault
+/// window: the breaker alert must fire inside the death window (the
+/// card can only start failing once it starts corrupting) and resolve
+/// only after the window ends (probes must come back clean first).
+bool
+alert_window_ok(const serve::Scenario &sc,
+                const serve::CampaignReport &r)
+{
+    if (sc.name != "card-death-mid-drain") return true;
+    if (r.alertsFired < 1 || r.alertsResolved < 1) {
+        std::fprintf(stderr,
+                     "FAIL: %s fired %llu / resolved %llu alerts "
+                     "(want >= 1 each)\n",
+                     sc.name.c_str(),
+                     static_cast<unsigned long long>(r.alertsFired),
+                     static_cast<unsigned long long>(
+                         r.alertsResolved));
+        return false;
+    }
+    double deathStart = sc.schedule.events.at(0).startCycle;
+    double deathEnd = sc.schedule.events.at(0).endCycle;
+    double firedAt = -1.0, resolvedAt = -1.0;
+    for (const telemetry::AlertTransition &t : r.alertLog) {
+        if (t.to == telemetry::AlertState::Firing && firedAt < 0.0) {
+            firedAt = t.cycle;
+        }
+        if (t.from == telemetry::AlertState::Firing &&
+            resolvedAt < 0.0) {
+            resolvedAt = t.cycle;
+        }
+    }
+    if (firedAt < deathStart || resolvedAt < deathEnd) {
+        std::fprintf(stderr,
+                     "FAIL: %s alert window [%g, %g] does not bracket "
+                     "the death window [%g, %g]\n",
+                     sc.name.c_str(), firedAt, resolvedAt, deathStart,
+                     deathEnd);
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -95,10 +147,13 @@ main(int argc, char **argv)
     AsciiTable table("Standard chaos scenarios (conservation-gated)");
     table.header({"scenario", "completed", "shed", "retries",
                   "quarantines", "readmits", "probes", "availability",
-                  "conserved"});
+                  "alerts", "conserved"});
+    std::size_t tsdbSeries = 0;
+    double tsdbCadence = 0.0;
     for (const serve::Scenario &sc : serve::standard_scenarios()) {
         serve::CampaignReport r = serve::run_scenario(sc);
-        allOk = allOk && r.ok();
+        bool windowOk = alert_window_ok(sc, r);
+        allOk = allOk && r.ok() && windowOk;
         h.metric(sc.name + ".availability", r.availability);
         h.metric(sc.name + ".goodput_jobs_per_sec",
                  r.goodputJobsPerSec);
@@ -107,15 +162,42 @@ main(int argc, char **argv)
         h.metric(sc.name + ".readmissions",
                  static_cast<double>(r.readmissions));
         h.metric(sc.name + ".shed", static_cast<double>(r.shed));
+        h.metric(sc.name + ".alerts_fired",
+                 static_cast<double>(r.alertsFired));
+        h.metric(sc.name + ".alerts_resolved",
+                 static_cast<double>(r.alertsResolved));
         table.row({sc.name, std::to_string(r.completed),
                    std::to_string(r.shed), std::to_string(r.retries),
                    std::to_string(r.quarantines),
                    std::to_string(r.readmissions),
                    std::to_string(r.probes),
                    fmt(r.availability * 100.0, "%"),
-                   r.ok() ? "yes" : "NO"});
+                   std::to_string(r.alertsFired) + "/" +
+                       std::to_string(r.alertsResolved),
+                   r.ok() && windowOk ? "yes" : "NO"});
+
+        // Each scenario's TSDB rides along for poseidon_dash; the
+        // card-death one stamps the BENCH document.
+        if (!r.tsdbJsonl.empty()) {
+            std::string path =
+                bench_dir(h) + "TSDB_chaos_" + sc.name + ".jsonl";
+            std::ofstream f(path, std::ios::binary);
+            if (f) f << r.tsdbJsonl;
+            if (!f) {
+                std::fprintf(stderr, "bench_chaos: cannot write %s\n",
+                             path.c_str());
+            } else {
+                std::printf("[bench] wrote %s\n", path.c_str());
+            }
+            if (sc.name == "card-death-mid-drain") {
+                tsdbCadence = sc.tsdbCadenceCycles;
+                tsdbSeries = telemetry::Tsdb::parse_jsonl(r.tsdbJsonl)
+                                 .series_count();
+            }
+        }
     }
     table.print();
+    if (tsdbCadence > 0.0) h.tsdb_stamp(tsdbCadence, tsdbSeries);
 
     h.metric("conserved", allOk ? 1.0 : 0.0);
     if (!allOk) {

@@ -79,6 +79,16 @@ Harness::set_hw_config_name(std::string name)
 }
 
 void
+Harness::tsdb_stamp(double cadenceCycles, std::size_t seriesCount)
+{
+    hasTsdb_ = true;
+    tsdb_ = telemetry::Json::object();
+    tsdb_.set("cadence_cycles", telemetry::Json(cadenceCycles));
+    tsdb_.set("series",
+              telemetry::Json(static_cast<u64>(seriesCount)));
+}
+
+void
 Harness::record_sim(const std::string &prefix, const hw::SimResult &r,
                     const hw::HwConfig &cfg)
 {
@@ -111,6 +121,7 @@ Harness::finish(int rc)
              telemetry::Json(
                  static_cast<u64>(parallel::num_threads())));
     root.set("hw_config", telemetry::Json(hwConfigName_));
+    if (hasTsdb_) root.set("tsdb", tsdb_);
     root.set("config", config_);
     root.set("metrics", metrics_);
     root.set("cycles", telemetry::Json(totalCycles_));

@@ -68,6 +68,13 @@ class Harness
     /// "poseidon_u280").
     void set_hw_config_name(std::string name);
 
+    /// Stamp the TSDB provenance of a serving bench: the simulated
+    /// sample cadence and how many series the dump carries. Emitted
+    /// as the optional schema-v2 `"tsdb"` object,
+    /// `{"cadence_cycles": <c>, "series": <n>}`, which
+    /// validate_bench_json checks when present.
+    void tsdb_stamp(double cadenceCycles, std::size_t seriesCount);
+
     /// Record one simulator run: emits `<prefix>.cycles`,
     /// `<prefix>.seconds`, `<prefix>.bandwidth_util` metrics and
     /// accumulates the run into the top-level totals.
@@ -90,6 +97,8 @@ class Harness
     bool finished_ = false;
     telemetry::Json config_ = telemetry::Json::object();
     telemetry::Json metrics_ = telemetry::Json::object();
+    bool hasTsdb_ = false;
+    telemetry::Json tsdb_ = telemetry::Json::object();
     double totalCycles_ = 0.0;
     double totalSeconds_ = 0.0;
     double totalBytes_ = 0.0;

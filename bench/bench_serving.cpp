@@ -58,17 +58,25 @@ struct CellResult
     /// rebuilt from the journal (indexed by serve::Phase).
     std::array<double, serve::kPhaseCount> phaseShare{};
     std::string journalJsonl; ///< the cell's lifecycle journal
+    std::string tsdbJsonl;    ///< "" unless the cell sampled a TSDB
+    std::size_t tsdbSeries = 0;
 };
+
+/// TSDB sample cadence for the saturated cell, in simulated cycles.
+constexpr double kTsdbCadence = 1e5;
 
 /// Run `clients` closed-loop clients (each submits its next request
 /// the moment the previous one finishes) for `perClient` requests
-/// against a `cards`-card fleet.
+/// against a `cards`-card fleet. `tsdbCadence > 0` turns on the
+/// engine's time-series sampling for the cell.
 CellResult
-run_cell(std::size_t cards, std::size_t clients, u64 perClient)
+run_cell(std::size_t cards, std::size_t clients, u64 perClient,
+         double tsdbCadence = 0.0)
 {
     serve::ServeConfig cfg;
     cfg.cards = cards;
     cfg.exportTelemetry = true;
+    cfg.tsdbCadenceCycles = tsdbCadence;
     serve::ServingEngine eng(cfg);
 
     struct Client
@@ -128,6 +136,10 @@ run_cell(std::size_t cards, std::size_t clients, u64 perClient)
         }
     }
     out.journalJsonl = eng.journal().to_jsonl();
+    if (tsdbCadence > 0.0) {
+        out.tsdbJsonl = eng.tsdb().to_jsonl();
+        out.tsdbSeries = eng.tsdb().series_count();
+    }
     return out;
 }
 
@@ -162,10 +174,17 @@ main(int argc, char **argv)
     // saturated[cards] = throughput at the highest offered load.
     std::vector<double> saturated(kCards.size(), 0.0);
     std::string saturatedJournal; // largest fleet, highest load
+    std::string saturatedTsdb;
+    std::size_t saturatedTsdbSeries = 0;
     for (std::size_t ci = 0; ci < kCards.size(); ++ci) {
         for (std::size_t li = 0; li < kClients.size(); ++li) {
-            CellResult r = run_cell(kCards[ci], kClients[li],
-                                    kPerClient);
+            // The saturated largest-fleet cell also samples the TSDB
+            // (inert elsewhere: the dump is one curve, not nine).
+            bool saturatedCell = ci + 1 == kCards.size() &&
+                                 li + 1 == kClients.size();
+            CellResult r =
+                run_cell(kCards[ci], kClients[li], kPerClient,
+                         saturatedCell ? kTsdbCadence : 0.0);
             std::string key = "c" + std::to_string(kCards[ci]) +
                               ".cl" + std::to_string(kClients[li]);
             h.metric(key + ".throughput_jobs_per_sec", r.throughput);
@@ -203,6 +222,8 @@ main(int argc, char **argv)
                 }
                 if (ci + 1 == kCards.size()) {
                     saturatedJournal = std::move(r.journalJsonl);
+                    saturatedTsdb = std::move(r.tsdbJsonl);
+                    saturatedTsdbSeries = r.tsdbSeries;
                 }
             }
         }
@@ -226,6 +247,25 @@ main(int argc, char **argv)
                          path.c_str());
         } else {
             std::printf("\n[bench] wrote %s\n", path.c_str());
+        }
+    }
+
+    // The saturated TSDB dump rides along for poseidon_dash / the CI
+    // dashboard artifact; the stamp ties the BENCH document to it.
+    if (!saturatedTsdb.empty()) {
+        h.tsdb_stamp(kTsdbCadence, saturatedTsdbSeries);
+        std::string out = h.output_path();
+        std::size_t slash = out.find_last_of('/');
+        std::string dir =
+            slash == std::string::npos ? "" : out.substr(0, slash + 1);
+        std::string path = dir + "TSDB_serving.jsonl";
+        std::ofstream f(path, std::ios::binary);
+        if (f) f << saturatedTsdb;
+        if (!f) {
+            std::fprintf(stderr, "bench_serving: cannot write %s\n",
+                         path.c_str());
+        } else {
+            std::printf("[bench] wrote %s\n", path.c_str());
         }
     }
 

@@ -82,6 +82,38 @@ validate(const std::string &path)
                         "hw_config must be a non-empty string");
         }
     }
+    if (root.contains("tsdb")) {
+        // Optional schema-v2 stamp tying the document to a TSDB
+        // dump written alongside it (bench_harness::tsdb_stamp).
+        if (root.at("schema_version").as_number() != 2.0) {
+            return fail(path, "tsdb stamp requires schema v2");
+        }
+        const Json &ts = root.at("tsdb");
+        if (!ts.is_object()) {
+            return fail(path, "tsdb must be an object");
+        }
+        for (const char *key : {"cadence_cycles", "series"}) {
+            if (!ts.contains(key)) {
+                return fail(path, std::string("tsdb: missing key \"") +
+                                      key + "\"");
+            }
+        }
+        const Json &cad = ts.at("cadence_cycles");
+        if (!cad.is_number() || !std::isfinite(cad.as_number()) ||
+            cad.as_number() <= 0.0) {
+            return fail(path,
+                        "tsdb.cadence_cycles must be a finite "
+                        "number > 0");
+        }
+        const Json &ns = ts.at("series");
+        if (!ns.is_number() || !std::isfinite(ns.as_number()) ||
+            ns.as_number() < 1.0 ||
+            ns.as_number() !=
+                static_cast<double>(
+                    static_cast<long long>(ns.as_number()))) {
+            return fail(path, "tsdb.series must be an integer >= 1");
+        }
+    }
     if (!root.at("name").is_string() ||
         root.at("name").as_string().empty()) {
         return fail(path, "name must be a non-empty string");

@@ -382,6 +382,8 @@ CampaignReport::to_json() const
     j.set("availability", Json(availability));
     j.set("goodput_jobs_per_sec", Json(goodputJobsPerSec));
     j.set("horizon_cycles", Json(horizonCycles));
+    j.set("alerts_fired", Json(alertsFired));
+    j.set("alerts_resolved", Json(alertsResolved));
     return j;
 }
 
@@ -401,6 +403,9 @@ run_scenario(const Scenario &sc)
     cfg.health = sc.health;
     cfg.chaos = sc.schedule.str();
     cfg.exportTelemetry = false; // campaigns run quiet by default
+    cfg.tsdbCadenceCycles = sc.tsdbCadenceCycles;
+    cfg.tsdbCapacity = sc.tsdbCapacity;
+    cfg.alertRules = sc.alertRules;
     ServingEngine engine(cfg);
 
     isa::Trace trace;
@@ -474,6 +479,12 @@ run_scenario(const Scenario &sc)
     rep.journalJsonl = engine.journal().to_jsonl();
     rep.journalConsistent =
         journal_matches_stats(engine.journal(), rep.stats);
+    if (sc.tsdbCadenceCycles > 0.0) {
+        rep.tsdbJsonl = engine.tsdb().to_jsonl();
+        rep.alertsFired = engine.alerts().fired_total();
+        rep.alertsResolved = engine.alerts().resolved_total();
+        rep.alertLog = engine.alert_log();
+    }
     return rep;
 }
 
@@ -507,6 +518,10 @@ standard_scenarios()
         dsl << "CardDeath{card=0, cycle=" << fmt(0.2 * horizon)
             << ", duration=" << fmt(0.3 * horizon) << "}";
         sc.schedule = ChaosSchedule::parse(dsl.str());
+        // The acceptance alert: pages while card 0's breaker is OPEN
+        // (2) or the card is dead (3); the fire cycle must land
+        // inside the death window, the resolve after re-admission.
+        sc.alertRules = "serve.card.0.breaker >= 2 => page";
         out.push_back(std::move(sc));
     }
     {
@@ -586,7 +601,17 @@ standard_scenarios()
             "hang, and high-priority work must survive.";
         sc.jobs = 48;
         sc.maxQueueDepth = 8;
+        // Admission shedding clamps the queue to the cap before any
+        // sample sees it, so the overload signal is "pinned at the
+        // cap", not "above the cap".
+        sc.alertRules = "serve.queue_depth >= 8 => warn";
         out.push_back(std::move(sc));
+    }
+    // Every scenario samples its TSDB at 64 points across the clean
+    // horizon — enough resolution for the fault windows to show as
+    // curves without unbounded memory.
+    for (Scenario &sc : out) {
+        sc.tsdbCadenceCycles = horizon / 64.0;
     }
     return out;
 }

@@ -164,6 +164,15 @@ struct Scenario
     std::size_t maxQueueDepth = 0; ///< 0 = no admission limit
 
     HealthConfig health;
+
+    /// TSDB sampling cadence in simulated cycles (0 = TSDB off);
+    /// standard_scenarios() sets horizon/64 so every scenario's
+    /// saturation and recovery become inspectable curves.
+    double tsdbCadenceCycles = 0.0;
+    std::size_t tsdbCapacity = 4096;
+    /// Alert rules (telemetry/alerts.h DSL) evaluated at each sample
+    /// tick; requires tsdbCadenceCycles > 0.
+    std::string alertRules;
 };
 
 /// Outcome of one scenario run, plus the invariant verdicts.
@@ -200,6 +209,15 @@ struct CampaignReport
     /// Serialized journal (JSONL) of the run — compare across thread
     /// counts for byte-identical determinism.
     std::string journalJsonl;
+    /// Serialized TSDB (JSONL; "" when the scenario sampled none) —
+    /// same byte-identical determinism contract as the journal.
+    std::string tsdbJsonl;
+    /// Alert outcomes (0 when the scenario declared no rules).
+    u64 alertsFired = 0;
+    u64 alertsResolved = 0;
+    /// Every alert transition, in evaluation order (fire/resolve
+    /// cycles gate against fault windows in bench_chaos).
+    std::vector<telemetry::AlertTransition> alertLog;
 
     bool ok() const { return conserved && journalConsistent; }
     telemetry::Json to_json() const;

@@ -28,6 +28,18 @@ derive_batch_key(const isa::Trace &trace)
     return "deg:" + std::to_string(deg);
 }
 
+/// Simulated-cycle bounds for the engine-owned latency histogram:
+/// 1e4 .. 1e9 cycles, 1-2-5 series (33 us .. 3.3 s at 0.3 GHz).
+const std::vector<double>&
+latency_cycle_bounds()
+{
+    static const std::vector<double> kBounds = {
+        1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 2e6,
+        5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+    };
+    return kBounds;
+}
+
 /// The canonical probe program: one small HBM round trip with
 /// element-wise and NTT work — enough memory traffic to exercise a
 /// sick HBM stack, cheap enough to waste on a card under suspicion.
@@ -192,10 +204,22 @@ ServingEngine::ServingEngine(ServeConfig cfg)
       health_(shards_.size(), cfg_.health),
       chaos_(new ChaosInjector(ChaosSchedule::parse(cfg_.chaos))),
       probeTrace_(make_probe_trace()),
-      probeSeq_(shards_.size(), 0)
+      probeSeq_(shards_.size(), 0),
+      tsdb_(cfg_.tsdbCadenceCycles,
+            std::max<std::size_t>(cfg_.tsdbCapacity, 2)),
+      alerts_(telemetry::AlertRules::parse(cfg_.alertRules)),
+      latencyHist_(latency_cycle_bounds())
 {
     POSEIDON_REQUIRE(cfg_.dispatchCycles >= 0.0,
                      "ServingEngine: negative dispatch overhead");
+    POSEIDON_REQUIRE(cfg_.tsdbCadenceCycles >= 0.0 &&
+                         std::isfinite(cfg_.tsdbCadenceCycles),
+                     "ServingEngine: negative or non-finite TSDB "
+                     "sample cadence");
+    POSEIDON_REQUIRE(alerts_.empty() || cfg_.tsdbCadenceCycles > 0.0,
+                     "ServingEngine: alertRules need "
+                     "tsdbCadenceCycles > 0 (alerts are evaluated at "
+                     "TSDB sample ticks)");
     journal_.set_enabled(cfg_.journal);
     journal_.set_meta(shards_.card(0).config().clockGHz,
                       shards_.size());
@@ -294,6 +318,11 @@ ServingEngine::finish_job(QueuedJob &&qj, JobResult r)
             ++completed_;
             ++t.completed;
             latencies_[r.tenant].push_back(r.latency_cycles());
+            // Simulated-cycle histogram feeding the TSDB's windowed
+            // quantiles (drain thread only — deterministic).
+            if (cfg_.tsdbCadenceCycles > 0.0) {
+                latencyHist_.observe(r.latency_cycles());
+            }
             break;
           case JobState::Failed:
             ++failed_;
@@ -554,6 +583,122 @@ ServingEngine::export_job_flows(const BreakdownReport &br) const
 }
 
 void
+ServingEngine::sample_tsdb(double cycle)
+{
+    // Every value below is simulated-clock state mutated only by the
+    // drain thread (or read under mu_), so the sample stream — and
+    // therefore the dump — is byte-identical at every thread count.
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        tsdb_.record("serve.jobs.completed", cycle,
+                     static_cast<double>(completed_));
+        tsdb_.record("serve.jobs.failed", cycle,
+                     static_cast<double>(failed_));
+        tsdb_.record("serve.jobs.expired", cycle,
+                     static_cast<double>(expired_));
+        tsdb_.record("serve.jobs.shed", cycle,
+                     static_cast<double>(shed_));
+        tsdb_.record("serve.jobs.retried", cycle,
+                     static_cast<double>(retries_));
+        tsdb_.record("serve.batches", cycle,
+                     static_cast<double>(batches_));
+    }
+    tsdb_.record("serve.queue_depth", cycle,
+                 static_cast<double>(sched_.depth()));
+    tsdb_.record("serve.health.live_cards", cycle,
+                 static_cast<double>(health_.live_cards()));
+    tsdb_.record("serve.health.quarantines", cycle,
+                 static_cast<double>(health_.quarantines()));
+    for (std::size_t c = 0; c < shards_.size(); ++c) {
+        const std::string i = std::to_string(c);
+        tsdb_.record("serve.card." + i + ".busy_cycles", cycle,
+                     shards_.stats(c).busyCycles);
+        const CardHealth &h = health_.card(c);
+        double state = h.dead ? 3.0
+                       : h.state == BreakerState::Open     ? 2.0
+                       : h.state == BreakerState::HalfOpen ? 1.0
+                                                           : 0.0;
+        tsdb_.record("serve.card." + i + ".breaker", cycle, state);
+    }
+    tsdb_.record_histogram("serve.latency_cycles", cycle,
+                           latencyHist_);
+
+    if (alerts_.empty()) return;
+    std::vector<telemetry::AlertTransition> edges =
+        alerts_.evaluate(cycle, tsdb_);
+    for (const telemetry::AlertTransition &t : edges) {
+        const telemetry::AlertRule &rule = alerts_.rules().rules[t.rule];
+        if (journal_.enabled()) {
+            JournalEvent ev;
+            ev.kind = JournalEventKind::AlertTransition;
+            ev.cycle = cycle; // job = 0: fleet-level event
+            ev.name = rule.str();
+            ev.attempt = static_cast<u64>(t.rule) + 1; // 1-based rule
+            ev.detail = t.text();
+            if (!std::isnan(t.value)) ev.value = t.value;
+            ev.failed = t.to == telemetry::AlertState::Firing;
+            journal_.append(std::move(ev));
+        }
+        if (cfg_.exportTelemetry) {
+            telemetry::count("serve.alerts.transitions");
+            if (t.to == telemetry::AlertState::Firing) {
+                telemetry::count("serve.alerts.fired");
+            }
+            if (t.from == telemetry::AlertState::Firing) {
+                telemetry::count("serve.alerts.resolved");
+            }
+        }
+        alertLog_.push_back(t);
+    }
+}
+
+void
+ServingEngine::export_alert_trace() const
+{
+    telemetry::Tracer &tracer = telemetry::Tracer::global();
+    if (!tracer.active() || alerts_.empty()) return;
+    double clock = shards_.card(0).config().clockGHz;
+    auto us = [clock](double cycles) {
+        return cycles / (clock * 1e9) * 1e6;
+    };
+    for (std::size_t r = 0; r < alerts_.rules().size(); ++r) {
+        const telemetry::AlertRule &rule = alerts_.rules().rules[r];
+        int tid = 450 + static_cast<int>(r);
+        tracer.set_thread_name(telemetry::Tracer::kSimPid, tid,
+                               "alert " + rule.metric);
+        double firedAt = -1.0;
+        auto close = [&](double endCycle) {
+            telemetry::TraceEvent ev;
+            ev.name = std::string("firing => ") +
+                      telemetry::to_string(rule.severity);
+            ev.pid = telemetry::Tracer::kSimPid;
+            ev.tid = tid;
+            ev.tsUs = us(firedAt);
+            ev.durUs = us(endCycle - firedAt);
+            ev.args.emplace_back("rule", telemetry::Json(rule.str()));
+            ev.args.emplace_back("fired_cycle",
+                                 telemetry::Json(firedAt));
+            ev.args.emplace_back("end_cycle",
+                                 telemetry::Json(endCycle));
+            tracer.complete_event(std::move(ev));
+            firedAt = -1.0;
+        };
+        for (const telemetry::AlertTransition &t : alertLog_) {
+            if (t.rule != r) continue;
+            if (t.to == telemetry::AlertState::Firing) {
+                firedAt = t.cycle;
+            } else if (t.from == telemetry::AlertState::Firing &&
+                       firedAt >= 0.0) {
+                close(t.cycle);
+            }
+        }
+        if (firedAt >= 0.0) { // still firing at drain end
+            close(std::max(horizon_, firedAt));
+        }
+    }
+}
+
+void
 ServingEngine::drain()
 {
     /// One card's work for the current round.
@@ -629,6 +774,17 @@ ServingEngine::drain()
         double T = std::max(t0, tArr);
         POSEIDON_CHECK(std::isfinite(T), "serving clock diverged");
         clock_ = std::max(clock_, T);
+
+        // ---- TSDB sampling: record one sample at every cadence grid
+        // cycle the fleet clock has crossed. Part of the round's
+        // single-threaded bookkeeping, so the sample stream is
+        // host-timing-free like every other decision at T.
+        if (cfg_.tsdbCadenceCycles > 0.0) {
+            while (nextSampleCycle_ <= T) {
+                sample_tsdb(nextSampleCycle_);
+                nextSampleCycle_ += cfg_.tsdbCadenceCycles;
+            }
+        }
 
         // ---- Offer T to every card available at T, in (available,
         // index) order. Quarantined cards whose cooldown elapsed get
@@ -912,6 +1068,25 @@ ServingEngine::drain()
 
     refresh_gauges();
     export_health_trace();
+    if (cfg_.tsdbCadenceCycles > 0.0) {
+        // Final flush at the serving horizon, so the last samples see
+        // the terminal state; the grid then resumes past it.
+        double end;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            end = std::max(clock_, horizon_);
+        }
+        sample_tsdb(end);
+        while (nextSampleCycle_ <= end) {
+            nextSampleCycle_ += cfg_.tsdbCadenceCycles;
+        }
+        export_alert_trace();
+        if (cfg_.exportTelemetry && telemetry::enabled()) {
+            telemetry::gauge_set(
+                "serve.alerts.firing",
+                static_cast<double>(alerts_.firing()));
+        }
+    }
     if (cfg_.exportTelemetry && telemetry::enabled()) {
         stats().export_metrics(telemetry::MetricsRegistry::global());
     }

@@ -79,8 +79,10 @@
 #include "serve/latency_breakdown.h"
 #include "serve/scheduler.h"
 #include "serve/shard.h"
+#include "telemetry/alerts.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
+#include "telemetry/timeseries.h"
 
 namespace poseidon::serve {
 
@@ -131,6 +133,22 @@ struct ServeConfig
     /// Declarative SLO (per-priority p99 targets + error budget);
     /// empty = no SLO evaluation. Requires `journal`.
     SloConfig slo;
+
+    /// TSDB sampling cadence on the simulated clock: drain() records
+    /// one sample of every serve.* series each time the fleet clock
+    /// crosses the next cadence-aligned grid cycle. 0 = TSDB off.
+    /// Sampling is part of drain()'s single-threaded bookkeeping, so
+    /// tsdb() dumps are byte-identical at every POSEIDON_THREADS.
+    double tsdbCadenceCycles = 0.0;
+
+    /// Ring capacity per TSDB series (oldest samples evicted past
+    /// this; evictions are counted in the dump).
+    std::size_t tsdbCapacity = 4096;
+
+    /// Alert rules in the telemetry/alerts.h DSL ("" = none), e.g.
+    /// "serve.queue_depth > 256 for 5e6 cycles => page". Evaluated at
+    /// every TSDB sample tick; requires tsdbCadenceCycles > 0.
+    std::string alertRules;
 };
 
 /// Aggregate per-tenant outcome (simulated time).
@@ -209,6 +227,20 @@ class ServingEngine
     /// journal().to_jsonl() or decompose() it directly.
     const Journal& journal() const { return journal_; }
 
+    /// The simulated-clock TSDB (empty when tsdbCadenceCycles == 0).
+    /// Read it between drains; serialize with tsdb().to_jsonl().
+    const telemetry::Tsdb& tsdb() const { return tsdb_; }
+
+    /// The alert engine evaluated over tsdb() (empty rule set when
+    /// ServeConfig::alertRules is "").
+    const telemetry::AlertEngine& alerts() const { return alerts_; }
+
+    /// Every alert transition recorded so far, in evaluation order.
+    const std::vector<telemetry::AlertTransition>& alert_log() const
+    {
+        return alertLog_;
+    }
+
     /**
      * Accept a job. Non-blocking and thread-safe; a named workload is
      * resolved (and an empty batchKey derived) immediately, so an
@@ -262,6 +294,15 @@ class ServingEngine
     /// onto the Chrome trace's fleet tracks (end of drain()).
     void export_job_flows(const BreakdownReport &br) const;
 
+    /// Record one TSDB sample of every serve.* series at simulated
+    /// cycle `cycle`, then advance the alert state machines (their
+    /// transitions land in the journal, counters, and alertLog_).
+    void sample_tsdb(double cycle);
+
+    /// Export firing windows onto the Chrome trace's alert track
+    /// (tids 450+, called at the end of drain()).
+    void export_alert_trace() const;
+
     ServeConfig cfg_;
     ShardManager shards_;
     Scheduler sched_;
@@ -273,6 +314,19 @@ class ServingEngine
     std::unique_ptr<ChaosInjector> chaos_;
     isa::Trace probeTrace_;
     std::vector<u64> probeSeq_;
+
+    telemetry::Tsdb tsdb_;
+    telemetry::AlertEngine alerts_;
+    /// Next cadence-aligned grid cycle to sample at (monotone across
+    /// drains; the end-of-drain flush advances it past the horizon).
+    double nextSampleCycle_ = 0.0;
+    /// Every alert transition of this engine's lifetime (trace
+    /// export + tests read it).
+    std::vector<telemetry::AlertTransition> alertLog_;
+    /// Engine-owned completed-job latency histogram in simulated
+    /// cycles, observed in finish_job() on the drain thread —
+    /// deterministic, unlike the wall-time tenant histograms.
+    telemetry::Histogram latencyHist_;
 
     /// Guards submissions_/nextId_ and the aggregate counters below
     /// (stats() and queue_depth() read them from any thread).

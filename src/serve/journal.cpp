@@ -26,6 +26,7 @@ to_string(JournalEventKind k)
       case JournalEventKind::Failed: return "Failed";
       case JournalEventKind::Expired: return "Expired";
       case JournalEventKind::Shed: return "Shed";
+      case JournalEventKind::AlertTransition: return "AlertTransition";
     }
     return "?";
 }
@@ -41,6 +42,7 @@ journal_kind_from_string(const std::string &s, JournalEventKind &out)
         JournalEventKind::BackoffScheduled, JournalEventKind::ProbeInteraction,
         JournalEventKind::Completed,        JournalEventKind::Failed,
         JournalEventKind::Expired,          JournalEventKind::Shed,
+        JournalEventKind::AlertTransition,
     };
     for (JournalEventKind k : kAll) {
         if (s == to_string(k)) {

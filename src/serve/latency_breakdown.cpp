@@ -192,6 +192,7 @@ decompose(const Journal &journal)
           case JournalEventKind::FaultRetry:
           case JournalEventKind::BackoffScheduled:
           case JournalEventKind::ProbeInteraction:
+          case JournalEventKind::AlertTransition:
             break; // zero-width for the walk
           case JournalEventKind::Enqueued:
             // A retry requeue closes the backoff window that opened

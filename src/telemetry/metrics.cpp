@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/metric_sink.h"
@@ -37,6 +38,32 @@ Histogram::Histogram(std::vector<double> bounds)
                      "Histogram: bucket bounds must be distinct");
 }
 
+Histogram::Histogram(std::vector<double> bounds,
+                     const std::vector<std::uint64_t> &buckets,
+                     double sum)
+    : Histogram(std::move(bounds))
+{
+    POSEIDON_REQUIRE(buckets.size() == buckets_.size(),
+                     "Histogram::from_buckets: " << buckets.size()
+                     << " bucket counts, bounds imply "
+                     << buckets_.size());
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        buckets_[i].store(buckets[i], std::memory_order_relaxed);
+        n += buckets[i];
+    }
+    count_.store(n, std::memory_order_relaxed);
+    sum_.store(sum, std::memory_order_relaxed);
+}
+
+Histogram
+Histogram::from_buckets(std::vector<double> bounds,
+                        const std::vector<std::uint64_t> &buckets,
+                        double sum)
+{
+    return Histogram(std::move(bounds), buckets, sum);
+}
+
 void
 Histogram::observe(double v)
 {
@@ -47,6 +74,22 @@ Histogram::observe(double v)
     buckets_[i].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    POSEIDON_REQUIRE(other.bounds_ == bounds_,
+                     "Histogram::merge: bucket bounds differ");
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        std::uint64_t add =
+            other.buckets_[i].load(std::memory_order_relaxed);
+        if (add != 0) {
+            buckets_[i].fetch_add(add, std::memory_order_relaxed);
+        }
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -64,7 +107,7 @@ Histogram::quantile(double q) const
                      "Histogram::quantile: q = " << q
                                                  << " outside [0, 1]");
     std::uint64_t n = count();
-    if (n == 0) return 0.0;
+    if (n == 0) return std::numeric_limits<double>::quiet_NaN();
     std::uint64_t rank = static_cast<std::uint64_t>(
         std::ceil(q * static_cast<double>(n)));
     if (rank < 1) rank = 1;

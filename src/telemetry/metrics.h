@@ -74,7 +74,18 @@ class Histogram
   public:
     explicit Histogram(std::vector<double> bounds);
 
+    /// Rebuild a histogram from raw bucket counts (bounds.size() + 1
+    /// entries, overflow last) and an observation sum — the
+    /// deserialization path for TSDB histogram intervals.
+    static Histogram from_buckets(std::vector<double> bounds,
+                                  const std::vector<std::uint64_t> &buckets,
+                                  double sum);
+
     void observe(double v);
+
+    /// Fold `other` into this histogram (bucket-wise add). Bounds must
+    /// match exactly. Atomic per bucket, like observe().
+    void merge(const Histogram &other);
 
     const std::vector<double>& bounds() const { return bounds_; }
     /// Count in bucket i; i == bounds().size() is the overflow bucket.
@@ -83,7 +94,8 @@ class Histogram
      * Quantile estimate (q in [0, 1]) using nearest-rank over the
      * cumulative buckets with linear interpolation inside the chosen
      * bucket. Overflow-bucket hits clamp to the last bound; returns
-     * 0.0 for an empty histogram.
+     * NaN for an empty histogram (an estimate of 0 would read as a
+     * real latency).
      */
     double quantile(double q) const;
     std::uint64_t count() const
@@ -93,6 +105,9 @@ class Histogram
     double sum() const { return sum_.load(std::memory_order_relaxed); }
 
   private:
+    Histogram(std::vector<double> bounds,
+              const std::vector<std::uint64_t> &buckets, double sum);
+
     std::vector<double> bounds_;
     std::vector<std::atomic<std::uint64_t>> buckets_;
     std::atomic<std::uint64_t> count_{0};

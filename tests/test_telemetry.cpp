@@ -156,7 +156,54 @@ TEST(Metrics, HistogramQuantileInterpolatesWithinBuckets)
     // Overflow observations clamp to the last finite bound.
     h.observe(100.0);
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
-    EXPECT_DOUBLE_EQ(Histogram({1.0}).quantile(0.5), 0.0); // empty
+    // An empty histogram has no estimate at all: NaN, not a
+    // plausible-looking 0.
+    EXPECT_TRUE(std::isnan(Histogram({1.0}).quantile(0.5)));
+}
+
+TEST(Metrics, HistogramMergeFoldsBucketsCountAndSum)
+{
+    Histogram a({10.0, 20.0});
+    Histogram b({10.0, 20.0});
+    a.observe(5.0);
+    a.observe(15.0);
+    b.observe(15.0);
+    b.observe(25.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.bucket_count(0), 1u);
+    EXPECT_EQ(a.bucket_count(1), 2u);
+    EXPECT_EQ(a.bucket_count(2), 1u);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.sum(), 5.0 + 15.0 + 15.0 + 25.0);
+    // Quantiles of the merged histogram see both sources.
+    EXPECT_DOUBLE_EQ(a.quantile(1.0), 20.0);
+
+    // Merging an empty histogram is a no-op.
+    a.merge(Histogram({10.0, 20.0}));
+    EXPECT_EQ(a.count(), 4u);
+
+    // Mismatched bounds are a caller bug, not a silent mis-merge.
+    Histogram c({1.0});
+    EXPECT_THROW(a.merge(c), poseidon::InvalidArgument);
+}
+
+TEST(Metrics, HistogramFromBucketsRoundTrips)
+{
+    Histogram h({10.0, 20.0});
+    h.observe(5.0);
+    h.observe(15.0);
+    h.observe(30.0);
+    Histogram back = Histogram::from_buckets(
+        h.bounds(), {h.bucket_count(0), h.bucket_count(1),
+                     h.bucket_count(2)},
+        h.sum());
+    EXPECT_EQ(back.count(), h.count());
+    EXPECT_DOUBLE_EQ(back.sum(), h.sum());
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(back.bucket_count(i), h.bucket_count(i));
+    }
+    EXPECT_THROW(Histogram::from_buckets({10.0}, {1, 2, 3}, 0.0),
+                 poseidon::InvalidArgument);
 }
 
 TEST(Metrics, ExactQuantileUsesNearestRank)

@@ -12,14 +12,18 @@
  *   poseidon_explain JOURNAL.jsonl --job ID    # one specific job
  *   poseidon_explain JOURNAL.jsonl --slo SPEC  # SLO burn rates, e.g.
  *                                  --slo 'prio0=2.5e6;budget=0.01'
+ *   poseidon_explain JOURNAL.jsonl --alerts    # alert-rule timeline
+ *   poseidon_explain JOURNAL.jsonl --alerts --tsdb TSDB.jsonl
+ *                                  # cross-check against the TSDB's
+ *                                  # alert annotations
  *   poseidon_explain JOURNAL.jsonl --json FILE # full report as JSON
  *                                              # (FILE '-' = stdout)
  *
  * Journals come out of `chaos_campaign --journal DIR`, the
  * bench_serving JOURNAL_serving.jsonl artifact, or
  * ServingEngine::journal().write_jsonl(). Exit status: 0 on success,
- * 1 when --slo finds an alerting priority class, 2 on usage/parse
- * errors.
+ * 1 when --slo finds an alerting priority class or --alerts finds a
+ * rule that reached firing, 2 on usage/parse errors.
  */
 
 #include <cstring>
@@ -29,6 +33,7 @@
 
 #include "common/status.h"
 #include "serve/latency_breakdown.h"
+#include "telemetry/timeseries.h"
 
 using namespace poseidon;
 using namespace poseidon::serve;
@@ -66,6 +71,48 @@ print_summary(const BreakdownReport &br)
     std::cout << "\n";
 }
 
+/**
+ * Print the alert timeline recorded in the journal (the engine logs
+ * one AlertTransition event per state-machine edge, job = 0). Returns
+ * the number of edges that reached `firing`.
+ */
+std::size_t
+print_alert_timeline(const Journal &journal,
+                     const telemetry::Tsdb *tsdb)
+{
+    std::size_t fired = 0, edges = 0;
+    std::cout << "alert timeline (journal):\n";
+    for (const JournalEvent &ev : journal.events()) {
+        if (ev.kind != JournalEventKind::AlertTransition) continue;
+        ++edges;
+        if (ev.failed) ++fired;
+        std::cout << "  cycle " << ev.cycle << "  [rule "
+                  << (ev.attempt == 0 ? 0 : ev.attempt - 1) << "] "
+                  << ev.name << ": " << ev.detail;
+        if (ev.value != 0.0) std::cout << "  (value " << ev.value
+                                       << ")";
+        std::cout << "\n";
+    }
+    if (edges == 0) {
+        std::cout << "  (no alert transitions — no rules configured "
+                     "or none tripped)\n";
+    }
+    if (tsdb) {
+        // Cross-check: the TSDB carries the same edges as
+        // annotations; disagreement means the two artifacts are from
+        // different runs.
+        std::size_t annEdges = 0;
+        for (const telemetry::Annotation &a : tsdb->annotations()) {
+            if (a.kind == "alert") ++annEdges;
+        }
+        std::cout << "tsdb cross-check: " << annEdges
+                  << " alert annotations vs " << edges
+                  << " journal transitions"
+                  << (annEdges == edges ? "" : "  MISMATCH") << "\n";
+    }
+    return fired;
+}
+
 } // namespace
 
 int
@@ -74,10 +121,18 @@ main(int argc, char **argv)
     std::string path;
     std::string jsonOut;
     std::string sloSpec;
+    std::string tsdbPath;
+    bool wantAlerts = false;
     std::size_t top = 3;
     JobId onlyJob = 0;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--alerts") == 0) {
+            wantAlerts = true;
+        } else if (std::strcmp(argv[i], "--tsdb") == 0 &&
+                   i + 1 < argc) {
+            tsdbPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--top") == 0 &&
+                   i + 1 < argc) {
             top = static_cast<std::size_t>(std::stoul(argv[++i]));
         } else if (std::strcmp(argv[i], "--job") == 0 &&
                    i + 1 < argc) {
@@ -93,7 +148,7 @@ main(int argc, char **argv)
         } else {
             std::cerr << "usage: poseidon_explain JOURNAL.jsonl "
                          "[--top N] [--job ID] [--slo SPEC] "
-                         "[--json FILE]\n";
+                         "[--alerts] [--tsdb FILE] [--json FILE]\n";
             return 2;
         }
     }
@@ -112,6 +167,10 @@ main(int argc, char **argv)
             slo = evaluate_slo(br, SloConfig::parse(sloSpec));
         }
 
+        telemetry::Tsdb tsdb;
+        bool haveTsdb = !tsdbPath.empty();
+        if (haveTsdb) tsdb = telemetry::Tsdb::load_jsonl(tsdbPath);
+
         if (!jsonOut.empty()) {
             telemetry::Json out = br.to_json();
             if (haveSlo) out.set("slo", slo.to_json());
@@ -128,6 +187,17 @@ main(int argc, char **argv)
             }
         }
 
+        // A firing edge trips the exit code regardless of the output
+        // mode (mirrors how --slo alerts do).
+        bool anyFiring = false;
+        if (wantAlerts) {
+            for (const JournalEvent &ev : journal.events()) {
+                if (ev.kind == JournalEventKind::AlertTransition &&
+                    ev.failed) {
+                    anyFiring = true;
+                }
+            }
+        }
         if (jsonOut.empty() || jsonOut != "-") {
             print_summary(br);
             if (onlyJob != 0) {
@@ -145,6 +215,10 @@ main(int argc, char **argv)
                     std::cout << br.waterfall_text(*jb) << "\n";
                 }
             }
+            if (wantAlerts) {
+                print_alert_timeline(journal,
+                                     haveTsdb ? &tsdb : nullptr);
+            }
             if (haveSlo) {
                 std::cout << "slo (budget " << slo.budgetFraction
                           << ", alert at burn >= "
@@ -160,7 +234,9 @@ main(int argc, char **argv)
                 }
             }
         }
-        return haveSlo && slo.alerts > 0 ? 1 : 0;
+        if (haveSlo && slo.alerts > 0) return 1;
+        if (anyFiring) return 1;
+        return 0;
     } catch (const Error &e) {
         std::cerr << "poseidon_explain: " << e.what() << "\n";
         return 2;
