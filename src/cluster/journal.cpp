@@ -1,0 +1,223 @@
+#include "cluster/journal.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace poseidon::cluster {
+
+const char*
+to_string(ClusterEventKind k)
+{
+    switch (k) {
+      case ClusterEventKind::Submitted: return "Submitted";
+      case ClusterEventKind::Rejected: return "Rejected";
+      case ClusterEventKind::ShedCluster: return "ShedCluster";
+      case ClusterEventKind::Placed: return "Placed";
+      case ClusterEventKind::KeyTransfer: return "KeyTransfer";
+      case ClusterEventKind::KeyEvicted: return "KeyEvicted";
+      case ClusterEventKind::Rerouted: return "Rerouted";
+      case ClusterEventKind::Resolved: return "Resolved";
+      case ClusterEventKind::HostDeath: return "HostDeath";
+      case ClusterEventKind::ScaleUp: return "ScaleUp";
+      case ClusterEventKind::ScaleDown: return "ScaleDown";
+    }
+    return "?";
+}
+
+bool
+cluster_kind_from_string(const std::string &s, ClusterEventKind &out)
+{
+    static constexpr ClusterEventKind kAll[] = {
+        ClusterEventKind::Submitted,   ClusterEventKind::Rejected,
+        ClusterEventKind::ShedCluster, ClusterEventKind::Placed,
+        ClusterEventKind::KeyTransfer, ClusterEventKind::KeyEvicted,
+        ClusterEventKind::Rerouted,    ClusterEventKind::Resolved,
+        ClusterEventKind::HostDeath,   ClusterEventKind::ScaleUp,
+        ClusterEventKind::ScaleDown,
+    };
+    for (ClusterEventKind k : kAll) {
+        if (s == to_string(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+telemetry::Json
+ClusterEvent::to_json() const
+{
+    using telemetry::Json;
+    // Fixed key order + default-suppressed fields: the serialized
+    // line is a pure function of the event, which is what the
+    // byte-identical determinism guarantee rests on.
+    Json j = Json::object();
+    j.set("ev", Json(to_string(kind)));
+    j.set("job", Json(job));
+    j.set("cycle", Json(cycle));
+    if (!tenant.empty()) j.set("tenant", Json(tenant));
+    if (host != kNoHost) j.set("host", Json(static_cast<u64>(host)));
+    if (value != 0.0) j.set("value", Json(value));
+    if (!detail.empty()) j.set("detail", Json(detail));
+    return j;
+}
+
+ClusterEvent
+ClusterEvent::from_json(const telemetry::Json &j)
+{
+    POSEIDON_REQUIRE_T(ParseError, j.is_object(),
+                       "cluster event is not a JSON object");
+    ClusterEvent ev;
+    POSEIDON_REQUIRE_T(ParseError,
+                       j.contains("ev") && j.contains("job") &&
+                           j.contains("cycle"),
+                       "cluster event misses ev/job/cycle");
+    POSEIDON_REQUIRE_T(
+        ParseError,
+        cluster_kind_from_string(j.at("ev").as_string(), ev.kind),
+        "unknown cluster event kind \"" << j.at("ev").as_string()
+                                        << "\"");
+    ev.job = static_cast<ClusterJobId>(j.at("job").as_number());
+    ev.cycle = j.at("cycle").as_number();
+    if (j.contains("tenant")) ev.tenant = j.at("tenant").as_string();
+    if (j.contains("host")) {
+        ev.host = static_cast<std::size_t>(j.at("host").as_number());
+    }
+    if (j.contains("value")) ev.value = j.at("value").as_number();
+    if (j.contains("detail")) ev.detail = j.at("detail").as_string();
+    return ev;
+}
+
+ClusterJournal::ClusterJournal(ClusterJournal &&o) noexcept
+    : enabled_(o.enabled_),
+      clockGHz_(o.clockGHz_),
+      hosts_(o.hosts_),
+      events_(std::move(o.events_))
+{
+}
+
+ClusterJournal&
+ClusterJournal::operator=(ClusterJournal &&o) noexcept
+{
+    if (this != &o) {
+        enabled_ = o.enabled_;
+        clockGHz_ = o.clockGHz_;
+        hosts_ = o.hosts_;
+        events_ = std::move(o.events_);
+    }
+    return *this;
+}
+
+void
+ClusterJournal::set_meta(double clockGHz, std::size_t hosts)
+{
+    clockGHz_ = clockGHz;
+    hosts_ = hosts;
+}
+
+void
+ClusterJournal::append(ClusterEvent ev)
+{
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(std::move(ev));
+}
+
+std::size_t
+ClusterJournal::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+}
+
+std::string
+ClusterJournal::to_jsonl() const
+{
+    using telemetry::Json;
+    std::lock_guard<std::mutex> lk(mu_);
+    Json header = Json::object();
+    header.set("schema", Json(kSchemaName));
+    header.set("schema_version", Json(kSchemaVersion));
+    header.set("clock_ghz", Json(clockGHz_));
+    header.set("hosts", Json(static_cast<u64>(hosts_)));
+    header.set("events", Json(static_cast<u64>(events_.size())));
+    std::string out = header.dump();
+    out += '\n';
+    for (const ClusterEvent &ev : events_) {
+        out += ev.to_json().dump();
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+ClusterJournal::write_jsonl(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << to_jsonl();
+    return static_cast<bool>(out);
+}
+
+ClusterJournal
+ClusterJournal::parse_jsonl(const std::string &text)
+{
+    using telemetry::Json;
+    ClusterJournal jr;
+    std::istringstream in(text);
+    std::string line;
+    bool sawHeader = false;
+    std::size_t lineNo = 0;
+    std::size_t declared = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty()) continue;
+        Json j = Json::parse(line); // throws ParseError with offset
+        if (!sawHeader) {
+            POSEIDON_REQUIRE_T(
+                ParseError,
+                j.is_object() && j.contains("schema") &&
+                    j.at("schema").as_string() == kSchemaName,
+                "cluster journal line 1 is not a " << kSchemaName
+                                                   << " header");
+            POSEIDON_REQUIRE_T(
+                ParseError,
+                j.contains("schema_version") &&
+                    j.at("schema_version").as_number() ==
+                        kSchemaVersion,
+                "unsupported cluster journal schema version");
+            jr.clockGHz_ = j.contains("clock_ghz")
+                               ? j.at("clock_ghz").as_number()
+                               : 0.0;
+            jr.hosts_ = j.contains("hosts")
+                            ? static_cast<std::size_t>(
+                                  j.at("hosts").as_number())
+                            : 0;
+            declared = j.contains("events")
+                           ? static_cast<std::size_t>(
+                                 j.at("events").as_number())
+                           : 0;
+            sawHeader = true;
+            continue;
+        }
+        try {
+            jr.events_.push_back(ClusterEvent::from_json(j));
+        } catch (const Error &e) {
+            POSEIDON_THROW(ParseError, "cluster journal line "
+                                           << lineNo << ": "
+                                           << e.message());
+        }
+    }
+    POSEIDON_REQUIRE_T(ParseError, sawHeader,
+                       "cluster journal text has no header line");
+    POSEIDON_REQUIRE_T(ParseError, jr.events_.size() == declared,
+                       "cluster journal header declares "
+                           << declared << " events but "
+                           << jr.events_.size() << " lines follow");
+    return jr;
+}
+
+} // namespace poseidon::cluster

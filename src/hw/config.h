@@ -37,6 +37,16 @@ struct HwConfig
     /// Achievable fraction of peak on streaming access.
     double hbmEfficiency = 0.98;
 
+    /// Total HBM capacity in GB (two 4 GB HBM2 stacks on the U280).
+    /// Bounds the per-card evaluation-key cache the cluster router's
+    /// placement model works against.
+    double hbmCapacityGB = 8.0;
+
+    /// Host-to-card interconnect bandwidth in GB/s (PCIe Gen3 x16 on
+    /// the U280 deployment). Prices evaluation-key uploads when a
+    /// tenant's jobs are placed on a host that does not hold its keys.
+    double pcieGBps = 16.0;
+
     /// On-chip scratchpad capacity in MB.
     double scratchpadMB = 8.6;
 
@@ -81,9 +91,42 @@ struct HwConfig
         return hbmPeakGBps * 1e9 / (clockGHz * 1e9);
     }
 
+    /// Interconnect (PCIe) bytes per accelerator cycle.
+    double
+    pcie_bytes_per_cycle() const
+    {
+        return pcieGBps * 1e9 / (clockGHz * 1e9);
+    }
+
+    /// Modeled accelerator cycles to move `bytes` over the host-card
+    /// interconnect (the key-transfer cost the cluster router charges
+    /// on non-resident placement).
+    double
+    transfer_cycles(double bytes) const
+    {
+        return bytes / pcie_bytes_per_cycle();
+    }
+
+    /// HBM capacity in bytes.
+    double hbm_capacity_bytes() const { return hbmCapacityGB * 1e9; }
+
     /// The paper's U280 configuration (the defaults).
     static HwConfig poseidon_u280() { return HwConfig{}; }
 };
+
+/**
+ * Modeled evaluation-key footprint of one tenant, in bytes: `dnum`
+ * keyswitch key components, each a pair of polynomials in the extended
+ * base (`limbs + K` residues of `n` coefficients, `wordBytes` each).
+ * This is the quantity the cluster placement model weighs against
+ * hbmCapacityGB and prices over pcieGBps (see docs/CLUSTER.md).
+ */
+inline double
+eval_key_bytes(double n, double limbs, double dnum, double K,
+               unsigned wordBytes = 4)
+{
+    return dnum * 2.0 * n * (limbs + K) * static_cast<double>(wordBytes);
+}
 
 } // namespace poseidon::hw
 

@@ -9,7 +9,12 @@ Walks the repository's markdown documentation and verifies that
      heading-slug rules,
   3. every ``BENCH_<name>.json`` cited anywhere in the docs matches a
      bench binary that actually emits it (a ``Harness("<name>", ...)``
-     construction in bench/*.cpp).
+     construction in bench/*.cpp),
+  4. every config symbol the docs cite as ``Struct::member`` (for the
+     structs in CONFIG_HEADERS, e.g. ``ServeConfig::maxQueueDepth`` or
+     ``ClusterConfig::keyCacheShare``) names an identifier that
+     actually appears in the owning header — so the runbook cannot
+     drift from the code it documents.
 
 External links (http/https/mailto) are not fetched. Exits nonzero and
 prints one line per problem, so it can run as a CI gate:
@@ -31,6 +36,20 @@ HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 FENCE_RE = re.compile(r"^(```|~~~)")
 BENCH_CITE_RE = re.compile(r"BENCH_([A-Za-z0-9_]+)\.json")
 HARNESS_RE = re.compile(r"Harness\s+\w+\s*\(\s*\"([^\"]+)\"")
+
+# Config structs whose ``Struct::member`` doc citations must resolve
+# to an identifier in the owning header (repo-relative paths).
+CONFIG_HEADERS = {
+    "ServeConfig": "src/serve/engine.h",
+    "HealthConfig": "src/serve/health.h",
+    "SloConfig": "src/serve/latency_breakdown.h",
+    "ClusterConfig": "src/cluster/cluster.h",
+    "AutoscaleConfig": "src/cluster/cluster.h",
+    "ClusterStats": "src/cluster/cluster.h",
+    "HwConfig": "src/hw/config.h",
+}
+CONFIG_CITE_RE = re.compile(
+    r"\b(" + "|".join(CONFIG_HEADERS) + r")::(\w+)")
 
 
 def doc_files():
@@ -84,6 +103,32 @@ def bench_names():
         with open(os.path.join(bench_dir, f), encoding="utf-8") as fh:
             names.update(HARNESS_RE.findall(fh.read()))
     return names
+
+
+def header_symbols(relpath, cache={}):
+    """Identifiers appearing in a source header (grep-level check)."""
+    if relpath not in cache:
+        path = os.path.join(REPO, relpath)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                cache[relpath] = set(re.findall(r"\w+", fh.read()))
+        except OSError:
+            cache[relpath] = None  # header missing: reported once
+    return cache[relpath]
+
+
+def check_config_cites(rel, lineno, line, problems):
+    for struct, member in CONFIG_CITE_RE.findall(line):
+        header = CONFIG_HEADERS[struct]
+        symbols = header_symbols(header)
+        if symbols is None:
+            problems.append(
+                f"{rel}:{lineno}: cites {struct}::{member} but "
+                f"{header} does not exist")
+        elif member not in symbols:
+            problems.append(
+                f"{rel}:{lineno}: cites {struct}::{member} but "
+                f"'{member}' does not appear in {header}")
 
 
 def iter_links(path):
@@ -144,6 +189,7 @@ def main():
                             f"{rel}:{lineno}: cites BENCH_{name}.json "
                             f"but no bench constructs "
                             f"Harness(\"{name}\")")
+                check_config_cites(rel, lineno, line, problems)
     for p in problems:
         print(p)
     print(f"check_docs: {len(docs)} documents, {links} links, "

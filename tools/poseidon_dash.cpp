@@ -2,13 +2,15 @@
  * @file
  * Fleet dashboard generator: renders a TSDB dump
  * (telemetry/timeseries.h JSONL, e.g. the bench_serving
- * TSDB_serving.jsonl or a bench_chaos TSDB_chaos_<scenario>.jsonl
- * artifact) into one self-contained HTML file — inline SVG
- * sparklines for every value series, latency-quantile curves from
- * histogram series, per-card utilization heat strips rebuilt from the
- * serve.card.<i>.busy_cycles deltas, and the alert timeline from the
- * dump's annotations. No external scripts, stylesheets or fonts: the
- * file opens offline and archives byte-stable in CI artifacts.
+ * TSDB_serving.jsonl, a bench_chaos TSDB_chaos_<scenario>.jsonl, or
+ * the bench_cluster merged TSDB_cluster.jsonl artifact) into one
+ * self-contained HTML file — inline SVG sparklines for every value
+ * series, latency-quantile curves from histogram series, per-card
+ * utilization heat strips rebuilt from the serve.card.<i>.busy_cycles
+ * deltas (also under cluster "host<i>." prefixes), a per-host rollup
+ * table for cluster dumps, and the alert timeline from the dump's
+ * annotations. No external scripts, stylesheets or fonts: the file
+ * opens offline and archives byte-stable in CI artifacts.
  *
  * Usage:
  *   poseidon_dash TSDB.jsonl                 # writes TSDB.jsonl.html
@@ -186,6 +188,70 @@ emit_util_strip(std::ostream &os, const Series &s, double c0,
     os << "</svg></div>\n";
 }
 
+/// Split a cluster-merged series name "host<i>.<suffix>" into its
+/// host index and engine-local suffix; false for non-host series.
+bool
+split_host_series(const std::string &name, u64 &host,
+                  std::string &suffix)
+{
+    if (name.rfind("host", 0) != 0) return false;
+    std::size_t i = 4;
+    if (i >= name.size() || !std::isdigit(
+                                static_cast<unsigned char>(name[i])))
+        return false;
+    u64 h = 0;
+    while (i < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[i]))) {
+        h = h * 10 + static_cast<u64>(name[i] - '0');
+        ++i;
+    }
+    if (i >= name.size() || name[i] != '.') return false;
+    host = h;
+    suffix = name.substr(i + 1);
+    return true;
+}
+
+/// Per-host rollup table for cluster dumps: one row per "host<i>."
+/// prefix, summarizing that engine's latest serve.* samples.
+void
+emit_host_rollup(std::ostream &os, const Tsdb &db)
+{
+    // host index -> (engine-local series name -> series).
+    std::map<u64, std::map<std::string, const Series *>> hosts;
+    for (const auto &s : db.series()) {
+        u64 h = 0;
+        std::string suffix;
+        if (split_host_series(s->name(), h, suffix) && !s->empty()) {
+            hosts[h][suffix] = s.get();
+        }
+    }
+    if (hosts.empty()) return;
+
+    auto latest = [](const std::map<std::string, const Series *> &m,
+                     const char *name) -> std::string {
+        auto it = m.find(name);
+        if (it == m.end()) return "-";
+        return num(it->second->latest().value);
+    };
+    os << "<h2>Host rollup</h2>\n"
+       << "<table class='ann'><tr><th>host</th><th>completed</th>"
+          "<th>failed</th><th>shed</th><th>retried</th>"
+          "<th>queue depth</th><th>live cards</th>"
+          "<th>quarantines</th></tr>\n";
+    for (const auto &[h, m] : hosts) {
+        os << "<tr><td>host" << h << "</td><td>"
+           << latest(m, "serve.jobs.completed") << "</td><td>"
+           << latest(m, "serve.jobs.failed") << "</td><td>"
+           << latest(m, "serve.jobs.shed") << "</td><td>"
+           << latest(m, "serve.jobs.retried") << "</td><td>"
+           << latest(m, "serve.queue_depth") << "</td><td>"
+           << latest(m, "serve.health.live_cards") << "</td><td>"
+           << latest(m, "serve.health.quarantines")
+           << "</td></tr>\n";
+    }
+    os << "</table>\n";
+}
+
 /// Alert lane per rule: firing windows as red bands on the cycle
 /// axis, rebuilt from the dump's "alert" annotations.
 void
@@ -315,12 +381,25 @@ render(const std::string &inPath, const std::string &outPath,
        << num(db.cadence_cycles()) << " cycles &middot; span ["
        << num(c0) << ", " << num(c1) << "] cycles</div>\n";
 
-    // Per-card utilization strips first: the fleet at a glance.
+    // Cluster dumps lead with the per-host rollup (no-op for
+    // single-engine dumps without host<i>. prefixes).
+    emit_host_rollup(os, db);
+
+    // Per-card utilization strips next: the fleet at a glance. The
+    // matcher accepts both bare engine names (serve.card.<i>...) and
+    // cluster-merged ones (host<j>.serve.card.<i>...).
     std::vector<const Series *> utilSeries;
     for (const auto &s : db.series()) {
         const std::string &n = s->name();
-        if (n.rfind("serve.card.", 0) == 0 &&
-            n.size() > 12 &&
+        std::size_t at = n.find("serve.card.");
+        bool prefixOk = at == 0;
+        if (!prefixOk && at != std::string::npos) {
+            u64 h = 0;
+            std::string suffix;
+            prefixOk = split_host_series(n, h, suffix) &&
+                       suffix.rfind("serve.card.", 0) == 0;
+        }
+        if (prefixOk && n.size() > 12 &&
             n.compare(n.size() - 12, 12, ".busy_cycles") == 0 &&
             s->size() >= 2) {
             utilSeries.push_back(s.get());
